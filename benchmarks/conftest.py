@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, records the
+reproduced numbers in ``benchmark.extra_info`` (visible in the JSON
+output of ``pytest-benchmark``) and prints a human-readable rendition, so
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduced artifact
+next to its generation time.
+"""
+
+from __future__ import annotations
+
+
+def attach(benchmark, **info) -> None:
+    """Record reproduced results on the benchmark fixture."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,58 @@
+"""Bench: DNNK runtime scaling in graph size and capacity granularity.
+
+Not a paper table — an engineering characterisation of the allocator
+itself: the DP is O(buffers x capacity-units), so halving the granularity
+should roughly double the runtime, and the biggest benchmark model must
+stay comfortably interactive.
+"""
+
+import pytest
+
+from repro.analysis.experiments import reference_design
+from repro.hw.precision import INT16
+from repro.hw.sram import URAM_BYTES
+from repro.lcmm.dnnk import dnnk_allocate
+from repro.lcmm.feature_reuse import feature_reuse_pass
+from repro.lcmm.prefetch import weight_prefetch_pass
+from repro.lcmm.splitting import combine_buffers
+from repro.models import get_model
+from repro.perf.latency import LatencyModel
+
+from conftest import attach
+
+
+def make_inputs(model_name):
+    graph = get_model(model_name)
+    accel = reference_design(
+        "resnet152" if model_name not in ("googlenet", "inception_v4") else model_name,
+        INT16,
+        "lcmm",
+    )
+    model = LatencyModel(graph, accel)
+    feature = feature_reuse_pass(graph, model)
+    prefetch = weight_prefetch_pass(graph, model)
+    buffers = combine_buffers([feature.buffers, prefetch.buffers])
+    capacity = accel.device.sram_bytes - accel.tile_buffer_bytes()
+    return model, buffers, capacity
+
+
+@pytest.mark.parametrize("model_name", ["googlenet", "resnet152", "inception_v4"])
+def test_dnnk_scaling_models(benchmark, model_name):
+    model, buffers, capacity = make_inputs(model_name)
+    result = benchmark(dnnk_allocate, buffers, model, capacity)
+    attach(
+        benchmark,
+        model=model_name,
+        num_buffers=len(buffers),
+        capacity_blocks=capacity // URAM_BYTES,
+        allocated=len(result.allocated),
+    )
+    assert result.used_bytes <= capacity
+
+
+@pytest.mark.parametrize("granularity", [URAM_BYTES, URAM_BYTES // 4])
+def test_dnnk_scaling_granularity(benchmark, granularity):
+    model, buffers, capacity = make_inputs("inception_v4")
+    result = benchmark(dnnk_allocate, buffers, model, capacity, granularity)
+    attach(benchmark, granularity=granularity, allocated=len(result.allocated))
+    assert result.used_bytes <= capacity

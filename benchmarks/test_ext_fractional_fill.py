@@ -1,0 +1,70 @@
+"""Extension bench: fractional tensor residency under tight SRAM budgets.
+
+A whole-tensor knapsack strands any capacity smaller than the smallest
+remaining tensor; the fractional-fill extension pins a channel slice of a
+spilled tensor into that leftover.  This bench sweeps tight budgets on
+GoogLeNet 16-bit and reports what the partial pins recover.
+"""
+
+import pytest
+
+from repro.analysis.experiments import reference_design
+from repro.analysis.report import format_table
+from repro.hw.precision import INT16
+from repro.hw.sram import URAM_BYTES
+from repro.lcmm.framework import LCMMOptions, run_lcmm
+from repro.models import get_model
+from repro.perf.latency import LatencyModel
+
+from conftest import attach
+
+BUDGET_BLOCKS = (2, 4, 8, 16, 32)
+
+
+def run_sweep():
+    graph = get_model("googlenet")
+    accel = reference_design("googlenet", INT16, "lcmm")
+    model = LatencyModel(graph, accel)
+    tile = accel.tile_buffer_bytes()
+    rows = []
+    for blocks in BUDGET_BLOCKS:
+        budget = tile + blocks * URAM_BYTES
+        plain = run_lcmm(
+            graph, accel, options=LCMMOptions(sram_budget=budget), model=model
+        )
+        filled = run_lcmm(
+            graph,
+            accel,
+            options=LCMMOptions(sram_budget=budget, fractional_fill=True),
+            model=model,
+        )
+        rows.append((blocks, plain.latency, filled.latency, len(filled.fractions)))
+    return rows
+
+
+def test_fractional_fill(benchmark):
+    rows = benchmark(run_sweep)
+
+    print("\nFractional fill under tight budgets (GoogLeNet 16-bit)")
+    print(
+        format_table(
+            ("budget (blk)", "whole-tensor (ms)", "with fill (ms)", "partial pins"),
+            [
+                (blocks, f"{plain * 1e3:.4f}", f"{filled * 1e3:.4f}", pins)
+                for blocks, plain, filled, pins in rows
+            ],
+        )
+    )
+
+    attach(
+        benchmark,
+        recoveries={
+            str(blocks): round((plain - filled) * 1e6, 2)
+            for blocks, plain, filled, _ in rows
+        },
+    )
+
+    for _, plain, filled, _ in rows:
+        assert filled <= plain + 1e-15
+    # At least one tight budget must actually benefit from a partial pin.
+    assert any(filled < plain - 1e-12 for _, plain, filled, _ in rows)

@@ -1,0 +1,85 @@
+"""Extension bench: how much of LCMM's gain is the DDR4 bottleneck?
+
+Re-runs the 16-bit benchmark suite with the same fabric fed by HBM
+(Alveo U280-style, ~6x the aggregate bandwidth).  The paper's entire
+premise is DDR4 starvation; this bench quantifies it: with HBM, far fewer
+layers are memory bound and the LCMM speedup collapses toward 1.0.
+"""
+
+import pytest
+
+from repro.analysis.experiments import BENCHMARKS, reference_design
+from repro.analysis.report import format_table
+from repro.hw.fpga import U280
+from repro.hw.precision import INT16
+from repro.lcmm.framework import run_lcmm
+from repro.models import get_model
+from repro.perf.latency import LatencyModel
+from repro.perf.roofline import RooflineModel
+from repro.perf.systolic import AcceleratorConfig
+
+from conftest import attach
+
+
+def on_hbm(base: AcceleratorConfig) -> AcceleratorConfig:
+    return AcceleratorConfig(
+        name=f"{base.name}-hbm",
+        precision=base.precision,
+        array=base.array,
+        tile=base.tile,
+        frequency=base.frequency,
+        device=U280,
+        ddr_efficiency=base.ddr_efficiency,
+        if_resident_cap=base.if_resident_cap,
+        wt_resident_cap=base.wt_resident_cap,
+    )
+
+
+def run_suite():
+    rows = []
+    for name in BENCHMARKS:
+        ddr4 = reference_design(name, INT16, "lcmm")
+        hbm = on_hbm(ddr4)
+        entry = {"model": name}
+        for label, accel in (("ddr4", ddr4), ("hbm", hbm)):
+            graph = get_model(name)
+            model = LatencyModel(graph, accel)
+            lcmm = run_lcmm(graph, accel, model=model)
+            bound, total = RooflineModel(graph, accel, model).memory_bound_count(
+                convs_only=True
+            )
+            entry[f"{label}_speedup"] = model.umm_latency() / lcmm.latency
+            entry[f"{label}_bound"] = f"{bound}/{total}"
+        rows.append(entry)
+    return rows
+
+
+def test_hbm(benchmark):
+    rows = benchmark(run_suite)
+
+    print("\nDDR4 vs HBM — is the paper's gain a bandwidth artifact? (16-bit)")
+    print(
+        format_table(
+            ("Model", "DDR4 bound", "DDR4 speedup", "HBM bound", "HBM speedup"),
+            [
+                (
+                    r["model"],
+                    r["ddr4_bound"],
+                    f"{r['ddr4_speedup']:.2f}",
+                    r["hbm_bound"],
+                    f"{r['hbm_speedup']:.2f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+
+    attach(
+        benchmark,
+        hbm_speedups={r["model"]: round(r["hbm_speedup"], 3) for r in rows},
+    )
+
+    for r in rows:
+        # LCMM never hurts, but HBM erodes the gain on every benchmark —
+        # confirming the speedup is specifically a DDR4-starvation fix.
+        assert 1.0 <= r["hbm_speedup"] < r["ddr4_speedup"]

@@ -1,0 +1,99 @@
+"""Extension bench: robustness of the headline result to model knobs.
+
+The reproduction's conclusions should not hinge on the calibrated DDR
+efficiency or on the exact SRAM budget.  This bench sweeps both on
+GoogLeNet 16-bit and checks the qualitative claims survive:
+
+* LCMM > UMM at every DDR efficiency (the advantage grows as bandwidth
+  gets scarcer);
+* speedup is monotone in the SRAM budget and saturates well below the
+  device capacity (the Fig. 2(b) saturation effect, now under DNNK).
+"""
+
+import pytest
+
+from repro.analysis.experiments import reference_design
+from repro.analysis.report import format_table
+from repro.hw.precision import INT16
+from repro.lcmm.framework import LCMMOptions, run_lcmm
+from repro.models import get_model
+from repro.perf.latency import LatencyModel
+from repro.perf.systolic import AcceleratorConfig
+
+from conftest import attach
+
+EFFICIENCIES = (0.5, 0.65, 0.8, 0.95)
+BUDGET_FRACTIONS = (0.05, 0.1, 0.2, 0.4, 1.0)
+
+
+def _with_efficiency(base: AcceleratorConfig, eff: float) -> AcceleratorConfig:
+    return AcceleratorConfig(
+        name=base.name,
+        precision=base.precision,
+        array=base.array,
+        tile=base.tile,
+        frequency=base.frequency,
+        device=base.device,
+        ddr_efficiency=eff,
+        if_resident_cap=base.if_resident_cap,
+        wt_resident_cap=base.wt_resident_cap,
+    )
+
+
+def run_sweeps():
+    graph = get_model("googlenet")
+    base = reference_design("googlenet", INT16, "lcmm")
+
+    eff_rows = []
+    for eff in EFFICIENCIES:
+        accel = _with_efficiency(base, eff)
+        model = LatencyModel(graph, accel)
+        result = run_lcmm(graph, accel, model=model)
+        eff_rows.append((eff, model.umm_latency() / result.latency))
+
+    model = LatencyModel(graph, base)
+    umm_latency = model.umm_latency()
+    tile = base.tile_buffer_bytes()
+    total = base.device.sram_bytes
+    budget_rows = []
+    for fraction in BUDGET_FRACTIONS:
+        budget = tile + int((total - tile) * fraction)
+        result = run_lcmm(
+            graph, base, options=LCMMOptions(sram_budget=budget), model=model
+        )
+        budget_rows.append((fraction, budget, umm_latency / result.latency))
+    return eff_rows, budget_rows
+
+
+def test_sensitivity(benchmark):
+    eff_rows, budget_rows = benchmark(run_sweeps)
+
+    print("\nSensitivity — speedup vs DDR efficiency (GoogLeNet 16-bit)")
+    print(format_table(
+        ("DDR efficiency", "speedup"),
+        [(f"{e:.2f}", f"{s:.3f}") for e, s in eff_rows],
+    ))
+    print("\nSensitivity — speedup vs SRAM budget")
+    print(format_table(
+        ("fraction", "budget (MB)", "speedup"),
+        [(f"{f:.2f}", f"{b / 2**20:.1f}", f"{s:.3f}") for f, b, s in budget_rows],
+    ))
+
+    attach(
+        benchmark,
+        efficiency_speedups={str(e): round(s, 3) for e, s in eff_rows},
+        budget_speedups={str(f): round(s, 3) for f, b, s in budget_rows},
+    )
+
+    # LCMM wins at every efficiency, and scarcer bandwidth means more win.
+    speedups = [s for _, s in eff_rows]
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[0] >= speedups[-1]
+
+    # Speedup is monotone in budget and saturates before the full device.
+    budget_speedups = [s for _, _, s in budget_rows]
+    assert all(
+        later >= earlier - 1e-9
+        for earlier, later in zip(budget_speedups, budget_speedups[1:])
+    )
+    assert budget_speedups[-2] >= 0.95 * budget_speedups[-1]

@@ -1,0 +1,46 @@
+"""Bench: regenerate Fig. 2(a) — the Inception-v4 roofline on VU9P.
+
+Paper's claims this reproduces: a large fraction of Inception-v4's layers
+are memory bound under the uniform dataflow (paper: 82 of 141, 58%), and
+a majority of the memory-bound layers demand bandwidth far beyond one
+DDR4 interface (paper: over 60% need >= 70 GB/s).
+"""
+
+from repro.analysis.experiments import run_fig2a
+
+from conftest import attach
+
+
+def test_fig2a(benchmark):
+    roofline = benchmark(run_fig2a)
+
+    bound, total = roofline.memory_bound_count(convs_only=True)
+    points = roofline.points(convs_only=True)
+    bound_points = [p for p in points if p.memory_bound]
+    heavy = [p for p in bound_points if p.bandwidth_requirement >= 40e9]
+
+    print("\nFig. 2(a) — Inception-v4 roofline (reproduced)")
+    print(f"Peak performance:     {roofline.compute_roof / 1e12:.2f} Tops")
+    print(f"Interface bandwidth:  {roofline.interface_bandwidth / 1e9:.1f} GB/s")
+    print(f"Ridge point:          {roofline.ridge_point():.1f} ops/byte")
+    print(f"Memory-bound layers:  {bound}/{total} ({bound / total:.0%};"
+          f" paper: 82/141 = 58%)")
+    print(f"Needing >=40 GB/s:    {len(heavy)}/{len(bound_points)} of memory-bound")
+    sample = sorted(bound_points, key=lambda p: -p.bandwidth_requirement)[:5]
+    for p in sample:
+        print(
+            f"  {p.node:32s} OI={p.operation_intensity:7.1f}  "
+            f"needs {p.bandwidth_requirement / 1e9:6.1f} GB/s"
+        )
+
+    attach(
+        benchmark,
+        memory_bound=bound,
+        total_layers=total,
+        fraction=round(bound / total, 3),
+        ridge_ops_per_byte=round(roofline.ridge_point(), 1),
+    )
+
+    assert total >= 140
+    assert 0.3 <= bound / total <= 0.75
+    assert heavy

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Roofline characterisation of Inception-v4 (Fig. 2(a) of the paper).
+
+Classifies every conv layer of Inception-v4 as compute or memory bound
+under the 8-bit uniform-memory-management design, prints the counts the
+paper reports (82/141 memory bound) and renders an ASCII roofline
+scatter.
+
+Run:  python examples/roofline_analysis.py
+"""
+
+import math
+
+from repro.analysis.experiments import run_fig2a
+
+
+def ascii_scatter(points, ridge, width: int = 72, height: int = 18) -> str:
+    """Render (log OI, attainable fraction) as an ASCII scatter plot."""
+    ois = [p.operation_intensity for p in points]
+    lo, hi = math.log10(min(ois)), math.log10(max(ois))
+    grid = [[" "] * width for _ in range(height)]
+    peak = max(p.attainable_ops for p in points)
+    for p in points:
+        x = int((math.log10(p.operation_intensity) - lo) / (hi - lo) * (width - 1))
+        y = int((1.0 - p.attainable_ops / peak) * (height - 1))
+        grid[y][x] = "m" if p.memory_bound else "c"
+    ridge_x = int((math.log10(ridge) - lo) / (hi - lo) * (width - 1))
+    if 0 <= ridge_x < width:
+        for y in range(height):
+            if grid[y][ridge_x] == " ":
+                grid[y][ridge_x] = "|"
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    roofline = run_fig2a()
+    points = roofline.points(convs_only=True)
+    bound, total = roofline.memory_bound_count(convs_only=True)
+
+    print("Inception-v4 roofline on the VU9P 8-bit UMM design")
+    print(f"  compute roof:        {roofline.compute_roof / 1e12:.2f} Tops")
+    print(f"  interface bandwidth: {roofline.interface_bandwidth / 1e9:.1f} GB/s")
+    print(f"  ridge point:         {roofline.ridge_point():.0f} ops/byte")
+    print(f"  memory bound:        {bound}/{total} layers ({bound / total:.0%}; "
+          "paper: 82/141 = 58%)")
+
+    print("\nAttainable performance vs operation intensity "
+          "(m = memory bound, c = compute bound, | = ridge):\n")
+    print(ascii_scatter(points, roofline.ridge_point()))
+
+    print("\nTen most bandwidth-hungry layers:")
+    hungry = sorted(points, key=lambda p: -p.bandwidth_requirement)[:10]
+    for p in hungry:
+        print(f"  {p.node:34s} needs {p.bandwidth_requirement / 1e9:7.1f} GB/s "
+              f"(OI {p.operation_intensity:6.1f} ops/B)")
+
+
+if __name__ == "__main__":
+    main()

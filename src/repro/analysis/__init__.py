@@ -1,0 +1,59 @@
+"""Experiment drivers and reporting.
+
+Everything needed to regenerate the paper's tables and figures: the
+reference design points (calibrated against Tab. 1's published numbers),
+per-experiment drivers, metric helpers and plain-text/markdown table
+rendering.
+"""
+
+from repro.analysis.experiments import (
+    BENCHMARKS,
+    PRECISIONS,
+    DesignComparison,
+    reference_design,
+    run_comparison,
+    run_fig8,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.analysis.design_space import DesignSpacePoint, enumerate_design_space
+from repro.analysis.metrics import average_speedup, block_throughput, geomean
+from repro.analysis.report import format_markdown_table, format_table
+from repro.analysis.dot import (
+    computation_graph_dot,
+    interference_graph_dot,
+    prefetch_graph_dot,
+)
+from repro.analysis.plots import (
+    bar_chart,
+    footprint_timeline,
+    roofline_scatter,
+    simulation_gantt,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "PRECISIONS",
+    "DesignComparison",
+    "reference_design",
+    "run_comparison",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig8",
+    "DesignSpacePoint",
+    "enumerate_design_space",
+    "average_speedup",
+    "block_throughput",
+    "geomean",
+    "format_table",
+    "format_markdown_table",
+    "computation_graph_dot",
+    "interference_graph_dot",
+    "prefetch_graph_dot",
+    "roofline_scatter",
+    "bar_chart",
+    "footprint_timeline",
+    "simulation_gantt",
+]

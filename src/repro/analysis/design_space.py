@@ -1,0 +1,158 @@
+"""The per-block allocation design space of Fig. 2(b).
+
+Inception-v4 has 14 inception blocks; choosing on- or off-chip storage for
+each block's tensors independently spans 2^14 = 16384 allocations.  The
+paper plots every point as (on-chip memory consumption, performance) to
+show that *more memory does not mean more performance* — motivation for an
+allocator smarter than "pin everything that fits".
+
+Enumerating 16384 full-model latencies naively is slow, so the evaluator
+exploits structure: a node's latency depends only on the block membership
+of its own few tensors, so each node contributes a small lookup table from
+its local block-choice bits to a latency, and a full point is a sum of
+table lookups.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import OpType
+from repro.perf.latency import LatencyModel
+from repro.perf.systolic import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class DesignSpacePoint:
+    """One allocation choice of Fig. 2(b).
+
+    Attributes:
+        chosen_blocks: Names of blocks whose tensors live on chip.
+        onchip_bytes: Total size of the pinned tensors (no sharing — this
+            axis deliberately shows raw demand, as the paper's does, which
+            is why it extends far beyond the device's 40 MB).
+        latency: End-to-end latency in seconds.
+        tops: Achieved performance.
+    """
+
+    chosen_blocks: tuple[str, ...]
+    onchip_bytes: int
+    latency: float
+    tops: float
+
+
+class DesignSpaceEnumerator:
+    """Fast enumerator over per-block on/off-chip choices.
+
+    Args:
+        graph: Model with block tags (Inception-v4 for the paper's figure).
+        accel: Design point to evaluate under.
+        blocks: Block names forming the choice axis; defaults to all
+            blocks whose name starts with ``"inception"``.
+    """
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        accel: AcceleratorConfig,
+        blocks: tuple[str, ...] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.accel = accel
+        self.model = LatencyModel(graph, accel)
+        if blocks is None:
+            blocks = tuple(b for b in graph.blocks if b.startswith("inception"))
+        if not blocks:
+            raise ValueError(f"graph {graph.name!r} has no selectable blocks")
+        self.blocks = blocks
+        self._block_index = {b: i for i, b in enumerate(blocks)}
+
+        # Tensor -> block bit, for tensors owned by a selectable block.
+        # Features belong to their producer's block, weights to their
+        # consumer's block.
+        self._tensor_bit: dict[str, int] = {}
+        self._block_bytes = [0] * len(blocks)
+        elem = accel.precision.bytes
+        for t in graph.feature_tensors():
+            block = graph.block_of(t.producer)
+            if block in self._block_index:
+                bit = self._block_index[block]
+                self._tensor_bit[t.name] = bit
+                self._block_bytes[bit] += t.bytes(elem)
+        for t in graph.weight_tensors():
+            block = graph.block_of(t.node)
+            if block in self._block_index:
+                bit = self._block_index[block]
+                self._tensor_bit[t.name] = bit
+                self._block_bytes[bit] += t.bytes(elem)
+
+        # Per node: lookup table from local block-choice bits to latency.
+        self._node_tables: list[tuple[tuple[int, ...], dict[int, float]]] = []
+        self._fixed_latency = 0.0
+        for name in self.model.nodes():
+            ll = self.model.layer(name)
+            bits = sorted(
+                {
+                    self._tensor_bit[s.tensor]
+                    for s in ll.slots
+                    if s.tensor in self._tensor_bit
+                }
+            )
+            if not bits:
+                self._fixed_latency += ll.latency()
+                continue
+            table: dict[int, float] = {}
+            for combo in itertools.product((False, True), repeat=len(bits)):
+                chosen = {b for b, on in zip(bits, combo) if on}
+                onchip = frozenset(
+                    s.tensor
+                    for s in ll.slots
+                    if self._tensor_bit.get(s.tensor) in chosen
+                )
+                key = sum(1 << i for i, on in enumerate(combo) if on)
+                table[key] = ll.latency(onchip)
+            self._node_tables.append((tuple(bits), table))
+
+        self._total_ops = 2 * sum(
+            self.model.layer(n).macs for n in self.model.nodes()
+        )
+
+    def evaluate(self, mask: int) -> DesignSpacePoint:
+        """Evaluate one subset of blocks given as a bitmask."""
+        latency = self._fixed_latency
+        for bits, table in self._node_tables:
+            key = 0
+            for i, b in enumerate(bits):
+                if mask >> b & 1:
+                    key |= 1 << i
+            latency += table[key]
+        onchip_bytes = sum(
+            self._block_bytes[b] for b in range(len(self.blocks)) if mask >> b & 1
+        )
+        chosen = tuple(b for b in self.blocks if mask >> self._block_index[b] & 1)
+        return DesignSpacePoint(
+            chosen_blocks=chosen,
+            onchip_bytes=onchip_bytes,
+            latency=latency,
+            tops=self._total_ops / latency / 1e12,
+        )
+
+    def enumerate(self, stride: int = 1) -> list[DesignSpacePoint]:
+        """Evaluate every ``stride``-th point of the 2^B design space."""
+        if stride < 1:
+            raise ValueError("stride must be at least 1")
+        return [
+            self.evaluate(mask) for mask in range(0, 1 << len(self.blocks), stride)
+        ]
+
+
+def enumerate_design_space(
+    graph: ComputationGraph,
+    accel: AcceleratorConfig,
+    blocks: tuple[str, ...] | None = None,
+    stride: int = 1,
+) -> list[DesignSpacePoint]:
+    """Convenience wrapper: enumerate the Fig. 2(b) design space."""
+    return DesignSpaceEnumerator(graph, accel, blocks).enumerate(stride)

@@ -1,0 +1,85 @@
+"""Graphviz DOT export of the framework's graph structures.
+
+Three views, matching the paper's figures: the computation graph
+(Fig. 3(a)), the feature interference graph (Fig. 5(a)) and the
+prefetching dependence graph (Fig. 6).  Output is plain DOT text — render
+with ``dot -Tpdf`` wherever graphviz is available; the generator itself
+has no dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import OpType
+from repro.lcmm.interference import InterferenceGraph
+from repro.lcmm.prefetch import PrefetchResult
+
+#: Fill colours per op type for the computation-graph view.
+_OP_COLORS = {
+    OpType.INPUT: "lightblue",
+    OpType.CONV: "white",
+    OpType.POOL: "lightgrey",
+    OpType.FC: "lightyellow",
+    OpType.ELTWISE: "lightpink",
+    OpType.CONCAT: "lightgreen",
+}
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def computation_graph_dot(
+    graph: ComputationGraph, highlight: frozenset[str] = frozenset()
+) -> str:
+    """DOT of the computation graph; ``highlight`` marks nodes bold.
+
+    Args:
+        graph: The network.
+        highlight: Node names to emphasise (e.g. the memory-bound set).
+    """
+    lines = [f"digraph {_quote(graph.name)} {{", "  rankdir=TB;"]
+    for layer in graph.layers():
+        color = _OP_COLORS.get(layer.op_type, "white")
+        attrs = [f'fillcolor="{color}"', "style=filled"]
+        if layer.name in highlight:
+            attrs.append("penwidth=3")
+        lines.append(f"  {_quote(layer.name)} [{', '.join(attrs)}];")
+    for layer in graph.layers():
+        for src in layer.inputs:
+            lines.append(f"  {_quote(src)} -> {_quote(layer.name)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def interference_graph_dot(graph: InterferenceGraph) -> str:
+    """DOT of an interference graph; false edges render dashed."""
+    lines = ["graph interference {", "  layout=circo;"]
+    for name, tensor in graph.tensors.items():
+        label = f"{name}\\n{tensor.size_bytes / 1024:.0f} KB {tensor.live_range}"
+        lines.append(f'  {_quote(name)} [label="{label}"];')
+    emitted: set[frozenset[str]] = set()
+    false_edges = graph.false_edges()
+    for name in graph.tensors:
+        for other in sorted(graph.neighbors(name)):
+            key = frozenset((name, other))
+            if key in emitted:
+                continue
+            emitted.add(key)
+            style = ' [style=dashed, label="false"]' if key in false_edges else ""
+            lines.append(f"  {_quote(name)} -- {_quote(other)}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def prefetch_graph_dot(result: PrefetchResult) -> str:
+    """DOT of the prefetching dependence graph (Fig. 6)."""
+    lines = ["digraph pdg {", "  rankdir=LR;"]
+    for edge in result.edges.values():
+        state = "hidden" if edge.fully_hidden else f"+{edge.residual * 1e6:.0f}us"
+        lines.append(
+            f"  {_quote(edge.start)} -> {_quote(edge.node)} "
+            f'[label="w:{edge.node} ({state})", style=dotted];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

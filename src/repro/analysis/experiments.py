@@ -1,0 +1,386 @@
+"""Reference design points and the Table 1/2/3 + Fig. 8 drivers.
+
+The paper evaluates nine design points — {ResNet-152, GoogLeNet,
+Inception-v4} x {8, 16, 32 bit} — each an independently synthesized
+accelerator pair (UMM baseline and LCMM design).  This module pins the
+reproduction's reference configuration:
+
+* arrays sized to the paper's DSP utilisation (83 % for RN/GN, 75 % for
+  IN, Tab. 1), with the fp32 array one fifth the MACs (5 DSP/MAC);
+* clocks straight from Tab. 1 (UMM 190 MHz vs LCMM 180 MHz fixed point;
+  170/160 MHz floating point) — LCMM's extra buffering closes timing
+  slightly lower;
+* tile shapes tied to the array geometry, with per-layer input/weight
+  residency capped at 64 KB / 128 KB (the loop-order freedom [18]'s DSE
+  has) and 80 % sustained DDR efficiency.
+
+The residency caps and DDR efficiency were calibrated once against the
+published Tab. 1 numbers and are never tuned per experiment; see
+EXPERIMENTS.md for the paper-vs-measured deltas this yields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.precision import FP32, INT8, INT16, Precision
+from repro.ir.graph import ComputationGraph
+from repro.lcmm.framework import LCMMOptions, LCMMResult, run_lcmm
+from repro.lcmm.umm import UMMResult, run_umm
+from repro.models.zoo import get_model
+from repro.perf.latency import LatencyModel
+from repro.perf.roofline import RooflineModel
+from repro.perf.systolic import AcceleratorConfig, SystolicArray
+from repro.perf.tiling import TileConfig
+from repro.analysis.metrics import block_throughput
+
+#: The paper's benchmark suite (Sec. 4): ResNet-152, GoogLeNet, Inception-v4.
+BENCHMARKS = ("resnet152", "googlenet", "inception_v4")
+
+#: The evaluated precisions, in Tab. 1 order.
+PRECISIONS = (INT8, INT16, FP32)
+
+#: Sustained fraction of theoretical DDR4 bandwidth (calibrated).
+REFERENCE_DDR_EFFICIENCY = 0.8
+
+#: Per-layer input-residency buffer (see AcceleratorConfig), calibrated.
+REFERENCE_IF_RESIDENT_CAP = 64 * 1024
+
+#: Per-layer weight-residency buffer, calibrated.
+REFERENCE_WT_RESIDENT_CAP = 128 * 1024
+
+#: Clock frequencies from Tab. 1, Hz: (UMM, LCMM) per precision name.
+REFERENCE_FREQUENCIES = {
+    "int8": (190e6, 180e6),
+    "int16": (190e6, 180e6),
+    "fp32": (170e6, 160e6),
+}
+
+#: Fixed-point arrays: 5632 MACs = 83 % of the VU9P's 6840 DSPs for RN/GN,
+#: 5120 MACs = 75 % for IN (Tab. 1 reports 75 % DSP for Inception-v4).
+_FIXED_ARRAYS = {
+    "resnet152": SystolicArray(rows=32, cols=16, simd=11),
+    "googlenet": SystolicArray(rows=32, cols=16, simd=11),
+    "inception_v4": SystolicArray(rows=32, cols=16, simd=10),
+}
+
+#: Floating-point array: 1024 MACs x 5 DSP/MAC = 5120 DSPs (75 %).
+_FP32_ARRAY = SystolicArray(rows=16, cols=8, simd=8)
+
+#: Tile shapes tied to the array geometry per precision.
+_TILES = {
+    "int8": TileConfig(tm=32, tn=32, th=14, tw=14),
+    "int16": TileConfig(tm=32, tn=32, th=14, tw=14),
+    "fp32": TileConfig(tm=16, tn=16, th=7, tw=7),
+}
+
+
+def reference_design(
+    model_name: str, precision: Precision, style: str
+) -> AcceleratorConfig:
+    """The calibrated design point for one (model, precision, style).
+
+    Args:
+        model_name: One of :data:`BENCHMARKS` (aliases accepted elsewhere;
+            here the canonical name is required).
+        precision: int8 / int16 / fp32.
+        style: ``"umm"`` or ``"lcmm"`` — selects the achieved clock.
+
+    Raises:
+        KeyError: On unknown model or precision.
+        ValueError: On unknown style.
+    """
+    if style not in ("umm", "lcmm"):
+        raise ValueError(f"style must be 'umm' or 'lcmm', got {style!r}")
+    if model_name not in _FIXED_ARRAYS:
+        raise KeyError(f"unknown benchmark {model_name!r}; known: {BENCHMARKS}")
+    freq_umm, freq_lcmm = REFERENCE_FREQUENCIES[precision.name]
+    array = _FP32_ARRAY if precision is FP32 else _FIXED_ARRAYS[model_name]
+    return AcceleratorConfig(
+        name=f"{style}-{model_name}-{precision.name}",
+        precision=precision,
+        array=array,
+        tile=_TILES[precision.name],
+        frequency=freq_umm if style == "umm" else freq_lcmm,
+        ddr_efficiency=REFERENCE_DDR_EFFICIENCY,
+        if_resident_cap=REFERENCE_IF_RESIDENT_CAP,
+        wt_resident_cap=REFERENCE_WT_RESIDENT_CAP,
+    )
+
+
+@dataclass
+class DesignComparison:
+    """One row pair of Tab. 1: a UMM baseline against its LCMM design.
+
+    Attributes:
+        model_name: Benchmark name.
+        precision: Arithmetic precision.
+        umm: Baseline result.
+        lcmm: LCMM result.
+        umm_model: Latency model of the baseline design point.
+        lcmm_model: Latency model of the LCMM design point.
+    """
+
+    model_name: str
+    precision: Precision
+    umm: UMMResult
+    lcmm: LCMMResult
+    umm_model: LatencyModel
+    lcmm_model: LatencyModel
+
+    @property
+    def speedup(self) -> float:
+        """UMM latency over LCMM latency — Tab. 1's rightmost column."""
+        return self.umm.latency / self.lcmm.latency
+
+    @property
+    def graph(self) -> ComputationGraph:
+        """The evaluated computation graph."""
+        return self.umm_model.graph
+
+
+def run_comparison(
+    model_name: str,
+    precision: Precision,
+    options: LCMMOptions | None = None,
+    graph: ComputationGraph | None = None,
+) -> DesignComparison:
+    """Evaluate one benchmark at one precision under UMM and LCMM."""
+    graph = graph or get_model(model_name)
+    accel_umm = reference_design(model_name, precision, "umm")
+    accel_lcmm = reference_design(model_name, precision, "lcmm")
+    umm_model = LatencyModel(graph, accel_umm)
+    lcmm_model = LatencyModel(graph, accel_lcmm)
+    umm = run_umm(graph, accel_umm, umm_model)
+    lcmm = run_lcmm(graph, accel_lcmm, options=options, model=lcmm_model)
+    return DesignComparison(
+        model_name=model_name,
+        precision=precision,
+        umm=umm,
+        lcmm=lcmm,
+        umm_model=umm_model,
+        lcmm_model=lcmm_model,
+    )
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One design row of Tab. 1."""
+
+    benchmark: str
+    precision: str
+    design: str
+    latency_ms: float
+    tops: float
+    frequency_mhz: float
+    dsp_utilization: float
+    sram_utilization: float
+    speedup: float
+
+
+def run_table1(
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    precisions: tuple[Precision, ...] = PRECISIONS,
+) -> list[Table1Row]:
+    """Regenerate Tab. 1: UMM vs LCMM across the benchmark matrix."""
+    rows = []
+    for model_name in benchmarks:
+        graph = get_model(model_name)
+        for precision in precisions:
+            cmp = run_comparison(model_name, precision, graph=graph)
+            speedup = cmp.speedup
+            rows.append(
+                Table1Row(
+                    benchmark=model_name,
+                    precision=precision.name,
+                    design="UMM",
+                    latency_ms=cmp.umm.latency * 1e3,
+                    tops=cmp.umm.tops,
+                    frequency_mhz=cmp.umm.accel.frequency / 1e6,
+                    dsp_utilization=cmp.umm.accel.dsp_utilization,
+                    sram_utilization=cmp.umm.sram_utilization,
+                    speedup=speedup,
+                )
+            )
+            rows.append(
+                Table1Row(
+                    benchmark=model_name,
+                    precision=precision.name,
+                    design="LCMM",
+                    latency_ms=cmp.lcmm.latency * 1e3,
+                    tops=cmp.lcmm.tops,
+                    frequency_mhz=cmp.lcmm.accel.frequency / 1e6,
+                    dsp_utilization=cmp.lcmm.accel.dsp_utilization,
+                    sram_utilization=cmp.lcmm.sram_utilization,
+                    speedup=speedup,
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One design row of Tab. 2: on-chip memory utilisation + POL."""
+
+    benchmark: str
+    precision: str
+    design: str
+    bram_utilization: float
+    uram_utilization: float
+    percentage_onchip_layers: float
+
+
+def run_table2(
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    precisions: tuple[Precision, ...] = PRECISIONS,
+) -> list[Table2Row]:
+    """Regenerate Tab. 2: BRAM/URAM utilisation and the POL metric."""
+    rows = []
+    for model_name in benchmarks:
+        graph = get_model(model_name)
+        for precision in precisions:
+            cmp = run_comparison(model_name, precision, graph=graph)
+            pol = cmp.lcmm.percentage_onchip_layers(cmp.lcmm_model)
+            umm_usage = cmp.umm.sram_used_bytes
+            bram_total = cmp.umm.accel.device.sram.bram_bytes
+            rows.append(
+                Table2Row(
+                    benchmark=model_name,
+                    precision=precision.name,
+                    design="UMM",
+                    bram_utilization=min(1.0, umm_usage / bram_total),
+                    uram_utilization=0.0,
+                    percentage_onchip_layers=pol,
+                )
+            )
+            rows.append(
+                Table2Row(
+                    benchmark=model_name,
+                    precision=precision.name,
+                    design="LCMM",
+                    bram_utilization=cmp.lcmm.sram_usage.bram_utilization,
+                    uram_utilization=cmp.lcmm.sram_usage.uram_utilization,
+                    percentage_onchip_layers=pol,
+                )
+            )
+    return rows
+
+
+#: Published Table 3 comparison points (quoted constants, 16-bit designs).
+TABLE3_PUBLISHED = (
+    {
+        "design": "Cloud-DNN [3]",
+        "dnn_model": "resnet50",
+        "frequency_mhz": 214.0,
+        "dsp": 5489,
+        "throughput_tops": 1.235,
+        "latency_ms": 8.12,
+    },
+    {
+        "design": "TGPA [17]",
+        "dnn_model": "resnet152",
+        "frequency_mhz": 200.0,
+        "dsp": 4096,
+        "throughput_tops": 1.463,
+        "latency_ms": 17.34,
+    },
+)
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One column of Tab. 3: a design compared on a ResNet."""
+
+    design: str
+    dnn_model: str
+    frequency_mhz: float
+    throughput_tops: float
+    latency_ms: float
+    published: bool
+
+
+def run_table3() -> list[Table3Row]:
+    """Regenerate Tab. 3: ours (16-bit LCMM) vs published state of the art.
+
+    ResNet-50 is compared against Cloud-DNN [3] and ResNet-152 against
+    TGPA [17]; the competitor numbers are the published constants, exactly
+    as in the paper.
+    """
+    rows = []
+    for published in TABLE3_PUBLISHED:
+        rows.append(Table3Row(
+            design=published["design"],
+            dnn_model=published["dnn_model"],
+            frequency_mhz=published["frequency_mhz"],
+            throughput_tops=published["throughput_tops"],
+            latency_ms=published["latency_ms"],
+            published=True,
+        ))
+        model_name = published["dnn_model"]
+        graph = get_model(model_name)
+        # Table 3 compares the ResNet-152 arrays; reuse that design family
+        # for ResNet-50 as well (same array, same clocks).
+        accel = reference_design("resnet152", INT16, "lcmm")
+        lcmm_model = LatencyModel(graph, accel)
+        lcmm = run_lcmm(graph, accel, model=lcmm_model)
+        rows.append(Table3Row(
+            design="Ours (LCMM)",
+            dnn_model=model_name,
+            frequency_mhz=accel.frequency / 1e6,
+            throughput_tops=lcmm.tops,
+            latency_ms=lcmm.latency * 1e3,
+            published=False,
+        ))
+    return rows
+
+
+@dataclass(frozen=True)
+class Fig8Series:
+    """Per-inception-block throughput of one design (one Fig. 8 bar set)."""
+
+    label: str
+    blocks: tuple[str, ...]
+    tops: tuple[float, ...]
+
+
+def run_fig8(precision: Precision = INT16) -> list[Fig8Series]:
+    """Regenerate Fig. 8: GoogLeNet per-block analysis at 16-bit.
+
+    Four series: the UMM baseline, LCMM with feature reuse only (8a),
+    LCMM with weight prefetching only (8b), and full LCMM (8c).
+    """
+    graph = get_model("googlenet")
+    blocks = tuple(b for b in graph.blocks if b.startswith("inception"))
+    accel_umm = reference_design("googlenet", precision, "umm")
+    umm_model = LatencyModel(graph, accel_umm)
+    umm = run_umm(graph, accel_umm, umm_model)
+
+    variants = {
+        "UMM": None,
+        "LCMM (feature reuse)": LCMMOptions(weight_prefetch=False),
+        "LCMM (weight prefetching)": LCMMOptions(feature_reuse=False),
+        "LCMM": LCMMOptions(),
+    }
+    accel_lcmm = reference_design("googlenet", precision, "lcmm")
+    lcmm_model = LatencyModel(graph, accel_lcmm)
+
+    series = []
+    for label, options in variants.items():
+        if options is None:
+            latencies = umm.node_latencies
+        else:
+            latencies = run_lcmm(
+                graph, accel_lcmm, options=options, model=lcmm_model
+            ).node_latencies
+        tops = tuple(
+            block_throughput(graph, latencies, b) / 1e12 for b in blocks
+        )
+        series.append(Fig8Series(label=label, blocks=blocks, tops=tops))
+    return series
+
+
+def run_fig2a(precision: Precision = INT8) -> RooflineModel:
+    """Regenerate Fig. 2(a): the Inception-v4 roofline on the UMM design."""
+    graph = get_model("inception_v4")
+    accel = reference_design("inception_v4", precision, "umm")
+    return RooflineModel(graph, accel)

@@ -1,0 +1,58 @@
+"""Metric helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.ir.graph import ComputationGraph
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the fair average for speedup ratios)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def average_speedup(speedups: Iterable[float]) -> float:
+    """Arithmetic mean of speedups — how the paper reports its 1.36x."""
+    speedups = list(speedups)
+    if not speedups:
+        raise ValueError("average of empty sequence")
+    return sum(speedups) / len(speedups)
+
+
+def block_throughput(
+    graph: ComputationGraph,
+    node_latencies: dict[str, float],
+    block: str,
+) -> float:
+    """Ops/second achieved within one named block (Fig. 8's y-axis).
+
+    Args:
+        graph: The model, with block tags.
+        node_latencies: Per executed node latency of the design under test.
+        block: Block name (e.g. ``"inception_4a"``).
+
+    Raises:
+        KeyError: If the block is unknown.
+    """
+    try:
+        members = graph.blocks[block]
+    except KeyError:
+        raise KeyError(f"unknown block {block!r} in {graph.name!r}") from None
+    total_ops = 0
+    total_time = 0.0
+    for name in members:
+        if name not in node_latencies:
+            continue  # concat nodes take no execution step
+        layer = graph.layer(name)
+        total_ops += 2 * layer.macs(graph.input_shapes(name))
+        total_time += node_latencies[name]
+    if total_time <= 0:
+        raise ValueError(f"block {block!r} has no executed latency")
+    return total_ops / total_time

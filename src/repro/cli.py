@@ -1,0 +1,412 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Installed as the ``lcmm`` console script::
+
+    lcmm table1              # UMM vs LCMM across the benchmark matrix
+    lcmm table2              # on-chip memory utilisation + POL
+    lcmm table3              # comparison with published designs
+    lcmm fig2a               # Inception-v4 roofline characterisation
+    lcmm fig2b --stride 16   # per-block allocation design space
+    lcmm fig8                # GoogLeNet per-block breakdown
+    lcmm run resnet152 --precision int16   # one design pair in detail
+    lcmm sweep googlenet     # speedup vs on-chip memory budget
+    lcmm simulate googlenet  # event-driven timeline (Gantt)
+    lcmm export resnet50 -o alloc.json     # allocation report for codegen
+    lcmm doublebuffer        # legacy double-buffer baseline on linear nets
+    lcmm batch resnet152 --images 16       # steady-state throughput
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.design_space import enumerate_design_space
+from repro.analysis.experiments import (
+    BENCHMARKS,
+    reference_design,
+    run_comparison,
+    run_fig2a,
+    run_fig8,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.analysis.metrics import average_speedup
+from repro.analysis.report import format_table
+from repro.hw.precision import precision_by_name
+from repro.models.zoo import get_model
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    rows = run_table1()
+    print(
+        format_table(
+            ("Benchmark", "Prec", "Design", "Latency(ms)", "Tops", "MHz", "DSP", "SRAM", "Speedup"),
+            [
+                (
+                    r.benchmark,
+                    r.precision,
+                    r.design,
+                    f"{r.latency_ms:.3f}",
+                    f"{r.tops:.3f}",
+                    int(r.frequency_mhz),
+                    f"{r.dsp_utilization:.0%}",
+                    f"{r.sram_utilization:.0%}",
+                    f"{r.speedup:.2f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+    speedups = [r.speedup for r in rows if r.design == "LCMM"]
+    print(f"\nAverage speedup: {average_speedup(speedups):.2f}x (paper: 1.36x)")
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    rows = run_table2()
+    print(
+        format_table(
+            ("Benchmark", "Prec", "Design", "BRAM", "URAM", "POL"),
+            [
+                (
+                    r.benchmark,
+                    r.precision,
+                    r.design,
+                    f"{r.bram_utilization:.0%}",
+                    f"{r.uram_utilization:.0%}",
+                    f"{r.percentage_onchip_layers:.0%}",
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    rows = run_table3()
+    print(
+        format_table(
+            ("Design", "Model", "MHz", "Tops", "Latency(ms)", "Source"),
+            [
+                (
+                    r.design,
+                    r.dnn_model,
+                    int(r.frequency_mhz),
+                    f"{r.throughput_tops:.3f}",
+                    f"{r.latency_ms:.2f}",
+                    "published" if r.published else "measured",
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
+def _cmd_fig2a(args: argparse.Namespace) -> None:
+    roofline = run_fig2a(precision_by_name(args.precision))
+    bound, total = roofline.memory_bound_count(convs_only=True)
+    print(f"Ridge point: {roofline.ridge_point():.1f} ops/byte")
+    print(f"Memory-bound conv layers: {bound}/{total} ({bound / total:.0%})")
+    if args.points:
+        print(
+            format_table(
+                ("Layer", "OI(ops/B)", "Attainable(Tops)", "BW need(GB/s)", "Bound"),
+                [
+                    (
+                        p.node,
+                        f"{p.operation_intensity:.1f}",
+                        f"{p.attainable_ops / 1e12:.3f}",
+                        f"{p.bandwidth_requirement / 1e9:.1f}",
+                        "memory" if p.memory_bound else "compute",
+                    )
+                    for p in roofline.points(convs_only=True)
+                ],
+            )
+        )
+
+
+def _cmd_fig2b(args: argparse.Namespace) -> None:
+    graph = get_model("inception_v4")
+    accel = reference_design("inception_v4", precision_by_name(args.precision), "lcmm")
+    points = enumerate_design_space(graph, accel, stride=args.stride)
+    best = max(points, key=lambda p: p.tops)
+    print(f"Evaluated {len(points)} allocation points")
+    print(f"Best: {best.tops:.3f} Tops at {best.onchip_bytes / 2**20:.1f} MB on-chip")
+    print(
+        "Pareto sample (memory MB -> best Tops at or under it):"
+    )
+    points.sort(key=lambda p: p.onchip_bytes)
+    best_so_far = 0.0
+    shown = 0
+    for p in points:
+        if p.tops > best_so_far:
+            best_so_far = p.tops
+            print(f"  {p.onchip_bytes / 2**20:8.1f} MB  {p.tops:.3f} Tops")
+            shown += 1
+            if shown >= 20:
+                break
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    series = run_fig8()
+    headers = ("Design",) + series[0].blocks
+    rows = [
+        (s.label,) + tuple(f"{v:.2f}" for v in s.tops) for s in series
+    ]
+    print(format_table(headers, rows))
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    cmp = run_comparison(args.model, precision_by_name(args.precision))
+    print(f"Model:      {cmp.model_name} ({args.precision})")
+    print(f"UMM:        {cmp.umm.latency * 1e3:.3f} ms  ({cmp.umm.tops:.3f} Tops)")
+    print(f"LCMM:       {cmp.lcmm.latency * 1e3:.3f} ms  ({cmp.lcmm.tops:.3f} Tops)")
+    print(f"Speedup:    {cmp.speedup:.2f}x")
+    print(f"On-chip tensors: {len(cmp.lcmm.onchip_tensors)}")
+    print(f"Physical buffers: {len(cmp.lcmm.physical_buffers)}")
+    print(f"SRAM: {cmp.lcmm.sram_utilization:.0%}  "
+          f"(URAM {cmp.lcmm.sram_usage.uram_utilization:.0%}, "
+          f"BRAM {cmp.lcmm.sram_usage.bram_utilization:.0%})")
+    print(f"POL:  {cmp.lcmm.percentage_onchip_layers(cmp.lcmm_model):.0%}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.lcmm.framework import LCMMOptions, run_lcmm
+    from repro.perf.latency import LatencyModel
+
+    graph = get_model(args.model)
+    accel = reference_design(args.model, precision_by_name(args.precision), "lcmm")
+    model = LatencyModel(graph, accel)
+    umm_latency = model.umm_latency()
+    tile = accel.tile_buffer_bytes()
+    print(f"Speedup vs on-chip memory budget ({args.model}, {args.precision}):")
+    total = accel.device.sram_bytes
+    for fraction in (0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0):
+        budget = tile + int((total - tile) * fraction)
+        result = run_lcmm(
+            graph, accel, options=LCMMOptions(sram_budget=budget), model=model
+        )
+        print(
+            f"  {budget / 2**20:6.1f} MB  speedup {umm_latency / result.latency:5.2f}x  "
+            f"({len(result.onchip_tensors)} tensors on chip)"
+        )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    from repro.analysis.plots import simulation_gantt
+    from repro.lcmm.framework import run_lcmm
+    from repro.perf.latency import LatencyModel
+    from repro.sim import simulate
+
+    graph = get_model(args.model)
+    accel = reference_design(args.model, precision_by_name(args.precision), "lcmm")
+    model = LatencyModel(graph, accel)
+    lcmm = run_lcmm(graph, accel, model=model)
+    sim = simulate(model, lcmm.onchip_tensors, lcmm.prefetch_result)
+    print(f"Simulated {graph.name}: makespan {sim.total_latency * 1e3:.3f} ms "
+          f"(analytical {lcmm.latency * 1e3:.3f} ms, "
+          f"stalls {sim.stall_time * 1e6:.1f} us)")
+    for kind in ("if", "wt", "of"):
+        print(f"  {kind} channel busy: {sim.channel_utilization(kind):.0%}")
+    print()
+    print(simulation_gantt(sim, max_rows=args.rows))
+
+
+def _cmd_export(args: argparse.Namespace) -> None:
+    from repro.io import save_allocation_report
+    from repro.lcmm.framework import run_lcmm
+    from repro.perf.latency import LatencyModel
+
+    graph = get_model(args.model)
+    accel = reference_design(
+        args.model if args.model in BENCHMARKS else "resnet152",
+        precision_by_name(args.precision),
+        "lcmm",
+    )
+    model = LatencyModel(graph, accel)
+    lcmm = run_lcmm(graph, accel, model=model)
+    save_allocation_report(lcmm, args.output)
+    print(f"Wrote allocation report for {graph.name} to {args.output}")
+    print(f"  {len(lcmm.physical_buffers)} buffers, "
+          f"{len(lcmm.onchip_tensors)} tensors, "
+          f"{len(lcmm.residuals)} unhidden prefetches")
+
+
+def _cmd_doublebuffer(args: argparse.Namespace) -> None:
+    from repro.lcmm.double_buffer import LinearityError, run_double_buffer
+    from repro.lcmm.umm import run_umm
+    from repro.perf.latency import LatencyModel
+
+    accel = reference_design("resnet152", precision_by_name(args.precision), "lcmm")
+    for name in ("alexnet", "vgg16", "resnet152", "googlenet"):
+        graph = get_model(name)
+        model = LatencyModel(graph, accel)
+        umm = run_umm(graph, accel, model)
+        try:
+            db = run_double_buffer(graph, accel, model)
+            print(f"{name:12s} linear: double-buffer {db.latency * 1e3:8.3f} ms "
+                  f"({umm.latency / db.latency:.2f}x over UMM, "
+                  f"2 x {db.buffer_bytes / 2**20:.2f} MB buffers)")
+        except LinearityError:
+            print(f"{name:12s} NON-LINEAR: traditional double buffering "
+                  "does not apply (the paper's motivation for LCMM)")
+
+
+def _cmd_batch(args: argparse.Namespace) -> None:
+    from repro.lcmm.framework import run_lcmm
+    from repro.perf.batching import batched_latency, umm_batched_latency
+    from repro.perf.latency import LatencyModel
+
+    graph = get_model(args.model)
+    accel = reference_design(args.model, precision_by_name(args.precision), "lcmm")
+    model = LatencyModel(graph, accel)
+    lcmm = run_lcmm(graph, accel, model=model)
+    batch = batched_latency(model, lcmm, args.images)
+    umm = umm_batched_latency(model, args.images)
+    print(f"Batch of {args.images} images on {graph.name} ({args.precision}):")
+    print(f"  LCMM first image:  {batch.first_image_latency * 1e3:8.3f} ms")
+    print(f"  LCMM steady state: {batch.steady_image_latency * 1e3:8.3f} ms "
+          f"({batch.images_per_second:.1f} img/s)")
+    print(f"  LCMM amortized:    {batch.amortized_latency * 1e3:8.3f} ms/img")
+    print(f"  UMM  per image:    {umm.steady_image_latency * 1e3:8.3f} ms")
+    print(f"  Steady-state speedup: "
+          f"{umm.steady_image_latency / batch.steady_image_latency:.2f}x")
+
+
+def _cmd_dot(args: argparse.Namespace) -> None:
+    from repro.analysis.dot import (
+        computation_graph_dot,
+        interference_graph_dot,
+        prefetch_graph_dot,
+    )
+    from repro.lcmm.framework import run_lcmm
+    from repro.perf.latency import LatencyModel
+
+    graph = get_model(args.model)
+    design_key = args.model if args.model in BENCHMARKS else "resnet152"
+    accel = reference_design(design_key, precision_by_name(args.precision), "lcmm")
+    model = LatencyModel(graph, accel)
+    if args.view == "graph":
+        bound = frozenset(model.memory_bound_nodes())
+        output = computation_graph_dot(graph, highlight=bound)
+    else:
+        lcmm = run_lcmm(graph, accel, model=model)
+        if args.view == "interference":
+            output = interference_graph_dot(lcmm.feature_result.interference)
+        else:
+            output = prefetch_graph_dot(lcmm.prefetch_result)
+    with open(args.output, "w") as handle:
+        handle.write(output + "\n")
+    print(f"Wrote {args.view} DOT for {graph.name} to {args.output}")
+
+
+def _cmd_cotune(args: argparse.Namespace) -> None:
+    from repro.lcmm.cotuning import cotune
+
+    graph = get_model(args.model)
+    base = reference_design(args.model, precision_by_name(args.precision), "lcmm")
+    result = cotune(graph, base)
+    print(f"Tile/allocation co-tuning on {graph.name} ({args.precision}):")
+    for point in sorted(result.points, key=lambda p: p.lcmm_latency):
+        marker = " <-- best" if point.tile == result.best_accel.tile else ""
+        print(
+            f"  {str(point.tile):28s} UMM {point.umm_latency * 1e3:8.3f} ms  "
+            f"LCMM {point.lcmm_latency * 1e3:8.3f} ms{marker}"
+        )
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.analysis.report_generator import write_report
+
+    target = write_report(args.output)
+    print(f"Wrote live experiment report to {target}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="lcmm",
+        description="Reproduce the DAC 2019 LCMM paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="UMM vs LCMM main results").set_defaults(func=_cmd_table1)
+    sub.add_parser("table2", help="on-chip memory utilisation").set_defaults(func=_cmd_table2)
+    sub.add_parser("table3", help="state-of-the-art comparison").set_defaults(func=_cmd_table3)
+
+    p2a = sub.add_parser("fig2a", help="Inception-v4 roofline")
+    p2a.add_argument("--precision", default="int8")
+    p2a.add_argument("--points", action="store_true", help="print every layer")
+    p2a.set_defaults(func=_cmd_fig2a)
+
+    p2b = sub.add_parser("fig2b", help="per-block design space")
+    p2b.add_argument("--precision", default="int8")
+    p2b.add_argument("--stride", type=int, default=1, help="evaluate every Nth point")
+    p2b.set_defaults(func=_cmd_fig2b)
+
+    sub.add_parser("fig8", help="GoogLeNet per-block breakdown").set_defaults(func=_cmd_fig8)
+
+    prun = sub.add_parser("run", help="one design pair in detail")
+    prun.add_argument("model", choices=list(BENCHMARKS) + ["resnet50", "alexnet", "vgg16"])
+    prun.add_argument("--precision", default="int8")
+    prun.set_defaults(func=_cmd_run)
+
+    psweep = sub.add_parser("sweep", help="speedup vs on-chip memory budget")
+    psweep.add_argument("model", choices=list(BENCHMARKS))
+    psweep.add_argument("--precision", default="int16")
+    psweep.set_defaults(func=_cmd_sweep)
+
+    psim = sub.add_parser("simulate", help="event-driven timeline (Gantt)")
+    psim.add_argument("model", choices=list(BENCHMARKS))
+    psim.add_argument("--precision", default="int8")
+    psim.add_argument("--rows", type=int, default=30, help="Gantt rows to show")
+    psim.set_defaults(func=_cmd_simulate)
+
+    pexp = sub.add_parser("export", help="write a JSON allocation report")
+    pexp.add_argument("model")
+    pexp.add_argument("--precision", default="int16")
+    pexp.add_argument("-o", "--output", default="allocation.json")
+    pexp.set_defaults(func=_cmd_export)
+
+    pdb = sub.add_parser(
+        "doublebuffer", help="legacy double-buffer baseline on linear nets"
+    )
+    pdb.add_argument("--precision", default="int8")
+    pdb.set_defaults(func=_cmd_doublebuffer)
+
+    pbatch = sub.add_parser("batch", help="steady-state multi-image throughput")
+    pbatch.add_argument("model", choices=list(BENCHMARKS))
+    pbatch.add_argument("--precision", default="int8")
+    pbatch.add_argument("--images", type=int, default=16)
+    pbatch.set_defaults(func=_cmd_batch)
+
+    preport = sub.add_parser("report", help="regenerate the full markdown report")
+    preport.add_argument("-o", "--output", default="experiment_report.md")
+    preport.set_defaults(func=_cmd_report)
+
+    pcotune = sub.add_parser("cotune", help="tile/allocation co-tuning sweep")
+    pcotune.add_argument("model", choices=list(BENCHMARKS))
+    pcotune.add_argument("--precision", default="int16")
+    pcotune.set_defaults(func=_cmd_cotune)
+
+    pdot = sub.add_parser("dot", help="export graphviz views of the analysis")
+    pdot.add_argument("model")
+    pdot.add_argument(
+        "--view", choices=("graph", "interference", "pdg"), default="graph"
+    )
+    pdot.add_argument("--precision", default="int8")
+    pdot.add_argument("-o", "--output", default="graph.dot")
+    pdot.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Hardware platform models: FPGA devices, precisions, and the memory system.
+
+This subpackage models the *fixed* part of the problem: the Xilinx VU9P
+device the paper evaluates on (DSP slices, BRAM and URAM inventories), the
+data precisions it sweeps (8/16-bit fixed point and 32-bit floating point)
+and the DDR4 off-chip memory system (four banks, per-interface bandwidth
+share).  Everything downstream — the performance model in :mod:`repro.perf`
+and the allocator in :mod:`repro.lcmm` — is parameterised by these objects,
+so other devices can be described without touching the algorithms.
+"""
+
+from repro.hw.precision import FP32, INT8, INT16, Precision
+from repro.hw.fpga import FPGADevice, U280, VU9P, make_u280, make_vu9p
+from repro.hw.memory import DDRSystem, MemoryInterface, make_vu9p_ddr
+from repro.hw.sram import BRAM18_BYTES, BRAM36_BYTES, URAM_BYTES, SRAMBudget
+
+__all__ = [
+    "Precision",
+    "INT8",
+    "INT16",
+    "FP32",
+    "FPGADevice",
+    "VU9P",
+    "make_vu9p",
+    "U280",
+    "make_u280",
+    "DDRSystem",
+    "MemoryInterface",
+    "make_vu9p_ddr",
+    "SRAMBudget",
+    "BRAM18_BYTES",
+    "BRAM36_BYTES",
+    "URAM_BYTES",
+]

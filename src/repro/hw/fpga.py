@@ -1,0 +1,134 @@
+"""FPGA device descriptions.
+
+The paper's experiments all target the Xilinx Virtex UltraScale+ VU9P
+(Sec. 2.2 and Sec. 4): 6840 DSP48E2 slices, 2160 BRAM36 blocks (~9.49 MB)
+and 960 URAM blocks (33.75 MB), roughly "40 MB" of on-chip memory in total
+(Fig. 2(b)), fed by four DDR4 banks of 19.2 GB/s each.  The device object
+carries those inventories plus the clock frequencies the paper reports for
+each design style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.precision import Precision
+from repro.hw.sram import SRAMBudget
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource inventory of one FPGA device.
+
+    Attributes:
+        name: Device name, e.g. ``"xcvu9p"``.
+        dsp_slices: Total DSP48 slices.
+        clb_luts: Total CLB LUTs (used only for utilisation reporting).
+        sram: On-chip memory inventory (BRAM + URAM blocks).
+        ddr_banks: Number of off-chip DDR banks.
+        ddr_bank_bandwidth: Peak bandwidth of one DDR bank in bytes/second.
+        default_frequency: Nominal achievable clock in Hz used when a design
+            does not override it.
+    """
+
+    name: str
+    dsp_slices: int
+    clb_luts: int
+    sram: SRAMBudget
+    ddr_banks: int
+    ddr_bank_bandwidth: float
+    default_frequency: float = 200e6
+
+    def __post_init__(self) -> None:
+        if self.dsp_slices <= 0:
+            raise ValueError("dsp_slices must be positive")
+        if self.ddr_banks <= 0:
+            raise ValueError("ddr_banks must be positive")
+        if self.ddr_bank_bandwidth <= 0:
+            raise ValueError("ddr_bank_bandwidth must be positive")
+        if self.default_frequency <= 0:
+            raise ValueError("default_frequency must be positive")
+
+    @property
+    def sram_bytes(self) -> int:
+        """Total on-chip memory in bytes (BRAM + URAM)."""
+        return self.sram.total_bytes
+
+    @property
+    def total_ddr_bandwidth(self) -> float:
+        """Aggregate off-chip bandwidth across all banks, bytes/second."""
+        return self.ddr_banks * self.ddr_bank_bandwidth
+
+    def peak_macs(self, precision: Precision, dsp_utilization: float = 1.0) -> int:
+        """Parallel MAC units the DSP inventory can host at a precision.
+
+        Args:
+            precision: Arithmetic precision (drives DSPs per MAC).
+            dsp_utilization: Fraction of DSP slices the design may claim.
+        """
+        if not 0.0 < dsp_utilization <= 1.0:
+            raise ValueError(f"dsp_utilization must be in (0, 1], got {dsp_utilization}")
+        return int(self.dsp_slices * dsp_utilization) // precision.dsps_per_mac
+
+    def peak_ops_per_second(
+        self,
+        precision: Precision,
+        frequency: float | None = None,
+        dsp_utilization: float = 1.0,
+    ) -> float:
+        """Peak throughput in ops/second (one MAC = two operations).
+
+        Args:
+            precision: Arithmetic precision.
+            frequency: Clock in Hz; defaults to :attr:`default_frequency`.
+            dsp_utilization: Fraction of DSP slices the design may claim.
+        """
+        freq = self.default_frequency if frequency is None else frequency
+        return 2.0 * self.peak_macs(precision, dsp_utilization) * freq
+
+
+#: DDR4 peak bandwidth per bank quoted in the paper (Sec. 2.2): 19.2 GB/s.
+VU9P_DDR_BANK_BANDWIDTH = 19.2e9
+
+#: The Xilinx VU9P device used throughout the paper's evaluation.
+VU9P = FPGADevice(
+    name="xcvu9p",
+    dsp_slices=6840,
+    clb_luts=1_182_240,
+    sram=SRAMBudget(bram36_blocks=2160, uram_blocks=960),
+    ddr_banks=4,
+    ddr_bank_bandwidth=VU9P_DDR_BANK_BANDWIDTH,
+    default_frequency=200e6,
+)
+
+
+def make_vu9p() -> FPGADevice:
+    """Return a fresh VU9P device description.
+
+    ``VU9P`` is frozen so sharing the module-level instance is safe; this
+    factory exists for call sites that prefer an explicit constructor.
+    """
+    return VU9P
+
+
+#: Alveo U280: a VU9P-class fabric fed by HBM2 instead of DDR4.  Modelled
+#: as 8 pseudo-banks of 57.5 GB/s (the full part exposes 32 channels /
+#: 460 GB/s; the accelerator's three streams cannot saturate more).  The
+#: interesting property for this repository: with an order of magnitude
+#: more bandwidth, far fewer layers are memory bound — LCMM's headroom
+#: shrinks, which quantifies how much of the paper's gain is really the
+#: DDR4 bottleneck.
+U280 = FPGADevice(
+    name="xcu280",
+    dsp_slices=9024,
+    clb_luts=1_304_000,
+    sram=SRAMBudget(bram36_blocks=2016, uram_blocks=960),
+    ddr_banks=8,
+    ddr_bank_bandwidth=57.5e9,
+    default_frequency=200e6,
+)
+
+
+def make_u280() -> FPGADevice:
+    """Return the HBM-based Alveo U280 device description."""
+    return U280

@@ -1,0 +1,104 @@
+"""Off-chip memory system model.
+
+The accelerator's dataflow (Fig. 1 of the paper) streams three tensors
+concurrently: input features, weights and output features.  The paper
+assigns each stream one third of the theoretical four-bank DDR4 bandwidth
+(Sec. 2.2): ``19.2 GB/s x 4 / 3 = 25.6 GB/s`` per interface.  This module
+models that split and the latency of moving a given number of bytes over an
+interface, including a fixed per-burst overhead so that many tiny transfers
+cost more than one large one — the effect that makes tile size matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.fpga import FPGADevice
+
+
+@dataclass(frozen=True)
+class MemoryInterface:
+    """One logical off-chip memory stream (ifmap, weight or ofmap).
+
+    Attributes:
+        name: Stream identifier, one of ``"if"``, ``"wt"``, ``"of"``.
+        bandwidth: Sustained bandwidth in bytes/second.
+        burst_overhead: Fixed latency per burst in seconds (DDR row
+            activation + AXI handshake); zero reproduces the paper's purely
+            bandwidth-based model.
+    """
+
+    name: str
+    bandwidth: float
+    burst_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.burst_overhead < 0:
+            raise ValueError("burst_overhead must be non-negative")
+
+    def transfer_time(self, num_bytes: float, bursts: int = 1) -> float:
+        """Seconds to move ``num_bytes`` in ``bursts`` bursts.
+
+        Args:
+            num_bytes: Payload size in bytes (zero yields zero time).
+            bursts: Number of separate bursts the payload is split into.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if bursts < 1:
+            raise ValueError("bursts must be at least 1")
+        if num_bytes == 0:
+            return 0.0
+        return num_bytes / self.bandwidth + bursts * self.burst_overhead
+
+
+@dataclass(frozen=True)
+class DDRSystem:
+    """The full off-chip memory system seen by the accelerator.
+
+    Three concurrent interfaces share the device's aggregate bandwidth.  The
+    paper divides the theoretical total evenly between the three streams;
+    :func:`make_vu9p_ddr` reproduces that 25.6 GB/s-per-interface figure.
+
+    Attributes:
+        ifmap: Interface carrying input feature tiles.
+        weight: Interface carrying weight tiles (and prefetches).
+        ofmap: Interface carrying output feature tiles.
+    """
+
+    ifmap: MemoryInterface
+    weight: MemoryInterface
+    ofmap: MemoryInterface
+
+    def interface(self, kind: str) -> MemoryInterface:
+        """Look up an interface by tensor kind (``"if"``/``"wt"``/``"of"``)."""
+        try:
+            return {"if": self.ifmap, "wt": self.weight, "of": self.ofmap}[kind]
+        except KeyError:
+            raise KeyError(f"unknown interface kind {kind!r}; expected if/wt/of") from None
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Sum of the three interface bandwidths, bytes/second."""
+        return self.ifmap.bandwidth + self.weight.bandwidth + self.ofmap.bandwidth
+
+
+def make_vu9p_ddr(
+    device: FPGADevice,
+    burst_overhead: float = 0.0,
+) -> DDRSystem:
+    """Build the paper's DDR model: total bandwidth split three ways.
+
+    Args:
+        device: FPGA device supplying bank count and per-bank bandwidth.
+        burst_overhead: Optional per-burst fixed cost in seconds applied to
+            every interface (0 reproduces the paper's model exactly).
+    """
+    share = device.total_ddr_bandwidth / 3.0
+    return DDRSystem(
+        ifmap=MemoryInterface("if", share, burst_overhead),
+        weight=MemoryInterface("wt", share, burst_overhead),
+        ofmap=MemoryInterface("of", share, burst_overhead),
+    )

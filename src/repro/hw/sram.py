@@ -1,0 +1,179 @@
+"""On-chip SRAM block arithmetic for Xilinx UltraScale+ devices.
+
+Xilinx devices provide two kinds of on-chip memory: block RAM (BRAM, 18 Kbit
+primitives pairable into 36 Kbit blocks) and UltraRAM (URAM, 288 Kbit
+blocks).  The paper reports buffer sizes in URAM blocks ("9 of them consuming
+32 URAM blocks", Sec. 4.1) and utilisation percentages per memory kind
+(Tab. 2 and Tab. 3), so the reproduction needs the same block-level
+accounting: a buffer of *S* bytes occupies ``ceil(S / block_bytes)`` whole
+blocks, and utilisation is blocks-used over blocks-available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Bytes per BRAM18 primitive (18 Kbit).
+BRAM18_BYTES = 18 * 1024 // 8
+
+#: Bytes per BRAM36 block (36 Kbit).
+BRAM36_BYTES = 36 * 1024 // 8
+
+#: Bytes per URAM block (288 Kbit).
+URAM_BYTES = 288 * 1024 // 8
+
+
+def blocks_for(size_bytes: int, block_bytes: int) -> int:
+    """Number of whole memory blocks needed to hold ``size_bytes``.
+
+    Args:
+        size_bytes: Buffer payload size in bytes (may be zero).
+        block_bytes: Capacity of one block in bytes.
+
+    Raises:
+        ValueError: If either argument is negative or ``block_bytes`` is zero.
+    """
+    if size_bytes < 0:
+        raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+    if block_bytes <= 0:
+        raise ValueError(f"block_bytes must be positive, got {block_bytes}")
+    return math.ceil(size_bytes / block_bytes)
+
+
+@dataclass
+class SRAMBudget:
+    """A divisible on-chip memory budget expressed in BRAM and URAM blocks.
+
+    The allocator (:mod:`repro.lcmm.dnnk`) treats on-chip memory as a single
+    capacity in bytes; this class converts between that flat view and the
+    device's block inventories.  Large tensor buffers are placed in URAM
+    first (the paper stores memory-bound tensors in URAM, Tab. 2) and spill
+    into BRAM once URAM runs out.
+
+    Attributes:
+        bram36_blocks: Number of 36 Kbit BRAM blocks available.
+        uram_blocks: Number of 288 Kbit URAM blocks available.
+    """
+
+    bram36_blocks: int
+    uram_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.bram36_blocks < 0 or self.uram_blocks < 0:
+            raise ValueError("block counts must be non-negative")
+
+    @property
+    def bram_bytes(self) -> int:
+        """Total BRAM capacity in bytes."""
+        return self.bram36_blocks * BRAM36_BYTES
+
+    @property
+    def uram_bytes(self) -> int:
+        """Total URAM capacity in bytes."""
+        return self.uram_blocks * URAM_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-chip memory capacity in bytes."""
+        return self.bram_bytes + self.uram_bytes
+
+    def split_buffer(self, size_bytes: int) -> tuple[int, int]:
+        """Place one buffer URAM-first and report the blocks it would use.
+
+        Args:
+            size_bytes: Buffer size in bytes.
+
+        Returns:
+            ``(uram_blocks, bram36_blocks)`` the buffer would occupy when
+            filled into URAM first and overflowing into BRAM.  The result is
+            not bounded by the budget — callers compare it against the
+            remaining inventory.
+        """
+        uram_needed = blocks_for(size_bytes, URAM_BYTES)
+        if uram_needed <= self.uram_blocks:
+            return uram_needed, 0
+        overflow = size_bytes - self.uram_blocks * URAM_BYTES
+        return self.uram_blocks, blocks_for(overflow, BRAM36_BYTES)
+
+    def scaled(self, fraction: float) -> "SRAMBudget":
+        """A budget with both inventories scaled by ``fraction`` (floored)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+        return SRAMBudget(
+            bram36_blocks=int(self.bram36_blocks * fraction),
+            uram_blocks=int(self.uram_blocks * fraction),
+        )
+
+
+@dataclass
+class SRAMUsage:
+    """Mutable tally of block consumption against a :class:`SRAMBudget`."""
+
+    budget: SRAMBudget
+    uram_used: int = 0
+    bram36_used: int = 0
+
+    def can_fit(self, size_bytes: int) -> bool:
+        """Whether a buffer of ``size_bytes`` fits in the remaining blocks."""
+        uram_free = self.budget.uram_blocks - self.uram_used
+        bram_free = self.budget.bram36_blocks - self.bram36_used
+        uram_needed = blocks_for(size_bytes, URAM_BYTES)
+        if uram_needed <= uram_free:
+            return True
+        overflow = size_bytes - uram_free * URAM_BYTES
+        return blocks_for(overflow, BRAM36_BYTES) <= bram_free
+
+    def allocate(self, size_bytes: int) -> tuple[int, int]:
+        """Consume blocks for one buffer, URAM first.
+
+        Returns:
+            ``(uram_blocks, bram36_blocks)`` consumed.
+
+        Raises:
+            MemoryError: If the buffer does not fit in the remaining blocks.
+        """
+        if not self.can_fit(size_bytes):
+            raise MemoryError(
+                f"buffer of {size_bytes} bytes does not fit: "
+                f"{self.uram_free} URAM and {self.bram36_free} BRAM36 blocks free"
+            )
+        uram_free = self.budget.uram_blocks - self.uram_used
+        uram_needed = blocks_for(size_bytes, URAM_BYTES)
+        if uram_needed <= uram_free:
+            self.uram_used += uram_needed
+            return uram_needed, 0
+        overflow = size_bytes - uram_free * URAM_BYTES
+        bram_needed = blocks_for(overflow, BRAM36_BYTES)
+        self.uram_used += uram_free
+        self.bram36_used += bram_needed
+        return uram_free, bram_needed
+
+    @property
+    def uram_free(self) -> int:
+        """URAM blocks not yet consumed."""
+        return self.budget.uram_blocks - self.uram_used
+
+    @property
+    def bram36_free(self) -> int:
+        """BRAM36 blocks not yet consumed."""
+        return self.budget.bram36_blocks - self.bram36_used
+
+    @property
+    def uram_utilization(self) -> float:
+        """Fraction of URAM blocks consumed (0 when the device has none)."""
+        if self.budget.uram_blocks == 0:
+            return 0.0
+        return self.uram_used / self.budget.uram_blocks
+
+    @property
+    def bram_utilization(self) -> float:
+        """Fraction of BRAM36 blocks consumed (0 when the device has none)."""
+        if self.budget.bram36_blocks == 0:
+            return 0.0
+        return self.bram36_used / self.budget.bram36_blocks
+
+    @property
+    def used_bytes(self) -> int:
+        """Total bytes of on-chip memory consumed, block-granular."""
+        return self.uram_used * URAM_BYTES + self.bram36_used * BRAM36_BYTES

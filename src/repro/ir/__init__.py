@@ -1,0 +1,43 @@
+"""Computation-graph IR for DNN models.
+
+The paper's framework operates on the *computation graph* of a DNN
+(Fig. 3(a)): nodes are layers, edges carry feature-map tensors, and every
+convolution additionally reads a weight tensor.  This subpackage provides
+the shape-level IR — no numerical data is ever attached, because LCMM only
+needs shapes, sizes and dependencies.
+"""
+
+from repro.ir.tensor import (
+    FeatureMapShape,
+    FeatureTensor,
+    TensorKind,
+    WeightShape,
+    WeightTensor,
+)
+from repro.ir.layer import (
+    Concat,
+    Conv2D,
+    EltwiseAdd,
+    FullyConnected,
+    InputLayer,
+    Layer,
+    Pooling,
+)
+from repro.ir.graph import ComputationGraph, GraphValidationError
+
+__all__ = [
+    "TensorKind",
+    "FeatureMapShape",
+    "WeightShape",
+    "FeatureTensor",
+    "WeightTensor",
+    "Layer",
+    "InputLayer",
+    "Conv2D",
+    "Pooling",
+    "FullyConnected",
+    "EltwiseAdd",
+    "Concat",
+    "ComputationGraph",
+    "GraphValidationError",
+]

@@ -1,0 +1,329 @@
+"""Layer (graph node) definitions.
+
+Each layer knows how to infer its output feature-map shape from its input
+shapes and how to count its multiply-accumulate operations.  Convolutions
+dominate both computation and storage in the evaluated models (Sec. 2.1 of
+the paper), so they carry the full loop-nest description
+``(M, C, H, W, Kh, Kw)`` consumed by the performance model.  Pooling and
+element-wise layers move data but perform negligible arithmetic; concat is
+realised by address steering in the accelerator and is free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ir.tensor import FeatureMapShape, WeightShape
+
+
+class OpType(str, enum.Enum):
+    """Operation category of a layer."""
+
+    INPUT = "input"
+    CONV = "conv"
+    POOL = "pool"
+    FC = "fc"
+    ELTWISE = "eltwise"
+    CONCAT = "concat"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class PoolMode(str, enum.Enum):
+    """Pooling flavour; both cost the same in the performance model."""
+
+    MAX = "max"
+    AVG = "avg"
+
+
+def _conv_output_extent(extent: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution/pooling along one axis."""
+    out = (extent + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output extent for input={extent}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+@dataclass
+class Layer:
+    """Base class for graph nodes.
+
+    Attributes:
+        name: Unique node name within a graph.
+        inputs: Names of the producer nodes this layer reads, in order.
+    """
+
+    name: str
+    inputs: tuple[str, ...] = ()
+
+    #: Overridden per subclass.
+    op_type: OpType = field(default=OpType.INPUT, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("layer name must be non-empty")
+        if isinstance(self.inputs, list):
+            self.inputs = tuple(self.inputs)
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        """Output feature-map shape given the input shapes, in input order."""
+        raise NotImplementedError
+
+    def macs(self, input_shapes: list[FeatureMapShape]) -> int:
+        """Multiply-accumulate count of the layer (0 for data movement ops)."""
+        return 0
+
+    @property
+    def weight_shape(self) -> WeightShape | None:
+        """Weight tensor shape, or None for weight-less layers."""
+        return None
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether the layer reads a weight tensor."""
+        return self.weight_shape is not None
+
+
+@dataclass
+class InputLayer(Layer):
+    """Graph entry point carrying the network's input image."""
+
+    shape: FeatureMapShape = field(default_factory=lambda: FeatureMapShape(3, 224, 224))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.INPUT
+        if self.inputs:
+            raise ValueError(f"input layer {self.name!r} must not have inputs")
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        if input_shapes:
+            raise ValueError("input layer takes no input shapes")
+        return self.shape
+
+
+@dataclass
+class Conv2D(Layer):
+    """2-D convolution, the workhorse layer.
+
+    Supports asymmetric kernels (the 1x7 / 7x1 factorised convolutions of
+    Inception-v4) and strides; dilation and grouping are not needed by the
+    paper's benchmark suite.
+
+    Attributes:
+        out_channels: Number of output feature maps (M).
+        kernel: ``(Kh, Kw)`` filter size.
+        stride: ``(Sh, Sw)`` stride.
+        padding: ``(Ph, Pw)`` zero padding; ``"same"`` semantics must be
+            pre-resolved by the model builders.
+    """
+
+    out_channels: int = 0
+    kernel: tuple[int, int] = (1, 1)
+    stride: tuple[int, int] = (1, 1)
+    padding: tuple[int, int] = (0, 0)
+    #: Filled by the graph when shapes are resolved; needed for weight_shape.
+    in_channels: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.CONV
+        if self.out_channels <= 0:
+            raise ValueError(f"conv {self.name!r}: out_channels must be positive")
+        if len(self.inputs) != 1:
+            raise ValueError(f"conv {self.name!r} must have exactly one input")
+        if min(self.kernel) <= 0 or min(self.stride) <= 0 or min(self.padding) < 0:
+            raise ValueError(f"conv {self.name!r}: bad kernel/stride/padding")
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        (shape,) = input_shapes
+        self.in_channels = shape.channels
+        return FeatureMapShape(
+            channels=self.out_channels,
+            height=_conv_output_extent(shape.height, self.kernel[0], self.stride[0], self.padding[0]),
+            width=_conv_output_extent(shape.width, self.kernel[1], self.stride[1], self.padding[1]),
+        )
+
+    def macs(self, input_shapes: list[FeatureMapShape]) -> int:
+        out = self.infer_output_shape(input_shapes)
+        (inp,) = input_shapes
+        return (
+            out.channels
+            * out.height
+            * out.width
+            * inp.channels
+            * self.kernel[0]
+            * self.kernel[1]
+        )
+
+    @property
+    def weight_shape(self) -> WeightShape | None:
+        if self.in_channels <= 0:
+            raise RuntimeError(
+                f"conv {self.name!r}: weight shape queried before shape inference"
+            )
+        return WeightShape(self.out_channels, self.in_channels, *self.kernel)
+
+
+@dataclass
+class DepthwiseConv2D(Layer):
+    """Depthwise 2-D convolution: one filter per input channel.
+
+    The workhorse of mobile architectures (MobileNet).  Output channels
+    equal input channels; there is no reduction over input channels, so
+    operation intensity is very low — depthwise layers are almost always
+    memory bound, which makes MobileNet a stress case for the allocator.
+
+    Attributes:
+        kernel: ``(Kh, Kw)`` filter size.
+        stride: ``(Sh, Sw)`` stride.
+        padding: ``(Ph, Pw)`` zero padding.
+    """
+
+    kernel: tuple[int, int] = (3, 3)
+    stride: tuple[int, int] = (1, 1)
+    padding: tuple[int, int] = (1, 1)
+    #: Filled by shape inference.
+    channels: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.CONV
+        if len(self.inputs) != 1:
+            raise ValueError(f"depthwise conv {self.name!r} must have exactly one input")
+        if min(self.kernel) <= 0 or min(self.stride) <= 0 or min(self.padding) < 0:
+            raise ValueError(f"depthwise conv {self.name!r}: bad kernel/stride/padding")
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        (shape,) = input_shapes
+        self.channels = shape.channels
+        return FeatureMapShape(
+            channels=shape.channels,
+            height=_conv_output_extent(shape.height, self.kernel[0], self.stride[0], self.padding[0]),
+            width=_conv_output_extent(shape.width, self.kernel[1], self.stride[1], self.padding[1]),
+        )
+
+    def macs(self, input_shapes: list[FeatureMapShape]) -> int:
+        out = self.infer_output_shape(input_shapes)
+        return out.channels * out.height * out.width * self.kernel[0] * self.kernel[1]
+
+    @property
+    def weight_shape(self) -> WeightShape | None:
+        if self.channels <= 0:
+            raise RuntimeError(
+                f"depthwise conv {self.name!r}: weight shape queried before inference"
+            )
+        # One Kh x Kw filter per channel.
+        return WeightShape(self.channels, 1, *self.kernel)
+
+
+@dataclass
+class Pooling(Layer):
+    """Max or average pooling; data movement only, negligible arithmetic."""
+
+    kernel: tuple[int, int] = (2, 2)
+    stride: tuple[int, int] = (2, 2)
+    padding: tuple[int, int] = (0, 0)
+    mode: PoolMode = PoolMode.MAX
+    #: Global pooling collapses H x W to 1 x 1 regardless of kernel.
+    global_pool: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.POOL
+        if len(self.inputs) != 1:
+            raise ValueError(f"pool {self.name!r} must have exactly one input")
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        (shape,) = input_shapes
+        if self.global_pool:
+            return FeatureMapShape(shape.channels, 1, 1)
+        return FeatureMapShape(
+            channels=shape.channels,
+            height=_conv_output_extent(shape.height, self.kernel[0], self.stride[0], self.padding[0]),
+            width=_conv_output_extent(shape.width, self.kernel[1], self.stride[1], self.padding[1]),
+        )
+
+
+@dataclass
+class FullyConnected(Layer):
+    """Fully-connected layer, modelled as a 1x1 convolution on 1x1 spatial."""
+
+    out_features: int = 0
+    in_features: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.FC
+        if self.out_features <= 0:
+            raise ValueError(f"fc {self.name!r}: out_features must be positive")
+        if len(self.inputs) != 1:
+            raise ValueError(f"fc {self.name!r} must have exactly one input")
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        (shape,) = input_shapes
+        self.in_features = shape.volume
+        return FeatureMapShape(self.out_features, 1, 1)
+
+    def macs(self, input_shapes: list[FeatureMapShape]) -> int:
+        (shape,) = input_shapes
+        return shape.volume * self.out_features
+
+    @property
+    def weight_shape(self) -> WeightShape | None:
+        if self.in_features <= 0:
+            raise RuntimeError(f"fc {self.name!r}: weight shape queried before shape inference")
+        return WeightShape(self.out_features, self.in_features, 1, 1)
+
+
+@dataclass
+class EltwiseAdd(Layer):
+    """Element-wise addition (residual shortcut join in ResNet)."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.ELTWISE
+        if len(self.inputs) < 2:
+            raise ValueError(f"eltwise {self.name!r} needs at least two inputs")
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        first = input_shapes[0]
+        for other in input_shapes[1:]:
+            if other != first:
+                raise ValueError(
+                    f"eltwise {self.name!r}: mismatched input shapes {first} vs {other}"
+                )
+        return first
+
+
+@dataclass
+class Concat(Layer):
+    """Channel-wise concatenation (inception block join).
+
+    Realised by address steering when consumers read from off-chip memory,
+    so it contributes no compute and no extra data transfer of its own.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.CONCAT
+        if len(self.inputs) < 2:
+            raise ValueError(f"concat {self.name!r} needs at least two inputs")
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        first = input_shapes[0]
+        for other in input_shapes[1:]:
+            if (other.height, other.width) != (first.height, first.width):
+                raise ValueError(
+                    f"concat {self.name!r}: mismatched spatial dims {first} vs {other}"
+                )
+        return FeatureMapShape(
+            channels=sum(shape.channels for shape in input_shapes),
+            height=first.height,
+            width=first.width,
+        )

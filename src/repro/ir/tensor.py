@@ -1,0 +1,138 @@
+"""Tensor shapes and graph-level tensor identities.
+
+Two tensor families matter to the framework (Sec. 3 of the paper):
+
+* **Feature tensors** — one per producing node; live from the producer's
+  execution step until the last consumer's step.  These are the candidates
+  for feature buffer reuse (Sec. 3.1).
+* **Weight tensors** — one per convolution / fully-connected node; without
+  prefetching their lifespan covers the whole graph, with prefetching it is
+  the span of the prefetch edge (Sec. 3.2).
+
+Tensor objects here are *identities*: they know their shape, their element
+count and which nodes produce/consume them, but carry no data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TensorKind(str, enum.Enum):
+    """Data source of a tensor from the perspective of one operation.
+
+    Matches the paper's ``d in {if, wt, of}`` notation (Eq. 1).
+    """
+
+    IFMAP = "if"
+    WEIGHT = "wt"
+    OFMAP = "of"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FeatureMapShape:
+    """Shape of a feature-map tensor in channels x height x width.
+
+    The batch dimension is 1 throughout — the paper evaluates
+    latency-per-image inference (Tab. 3 reports "Latency/Image").
+    """
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ValueError(f"feature map dimensions must be positive, got {self}")
+
+    @property
+    def volume(self) -> int:
+        """Number of elements."""
+        return self.channels * self.height * self.width
+
+    def bytes(self, element_bytes: int) -> int:
+        """Size in bytes at a given element width."""
+        return self.volume * element_bytes
+
+    def __str__(self) -> str:
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+@dataclass(frozen=True)
+class WeightShape:
+    """Shape of a convolution weight tensor: M x C x Kh x Kw."""
+
+    out_channels: int
+    in_channels: int
+    kernel_h: int
+    kernel_w: int
+
+    def __post_init__(self) -> None:
+        if min(self.out_channels, self.in_channels, self.kernel_h, self.kernel_w) <= 0:
+            raise ValueError(f"weight dimensions must be positive, got {self}")
+
+    @property
+    def volume(self) -> int:
+        """Number of elements."""
+        return self.out_channels * self.in_channels * self.kernel_h * self.kernel_w
+
+    def bytes(self, element_bytes: int) -> int:
+        """Size in bytes at a given element width."""
+        return self.volume * element_bytes
+
+    def __str__(self) -> str:
+        return f"{self.out_channels}x{self.in_channels}x{self.kernel_h}x{self.kernel_w}"
+
+
+@dataclass(frozen=True)
+class FeatureTensor:
+    """A feature-map value flowing along graph edges.
+
+    Attributes:
+        name: Unique tensor name, conventionally ``f:<producer>``.
+        producer: Name of the node whose output this tensor is.
+        consumers: Names of the nodes reading this tensor, in schedule order.
+        shape: Feature-map shape.
+    """
+
+    name: str
+    producer: str
+    consumers: tuple[str, ...]
+    shape: FeatureMapShape
+
+    def bytes(self, element_bytes: int) -> int:
+        """Size in bytes at a given element width."""
+        return self.shape.bytes(element_bytes)
+
+
+@dataclass(frozen=True)
+class WeightTensor:
+    """The weight value read by one convolution or FC node.
+
+    Attributes:
+        name: Unique tensor name, conventionally ``w:<node>``.
+        node: Name of the node that consumes these weights.
+        shape: Weight shape (M x C x Kh x Kw).
+    """
+
+    name: str
+    node: str
+    shape: WeightShape
+
+    def bytes(self, element_bytes: int) -> int:
+        """Size in bytes at a given element width."""
+        return self.shape.bytes(element_bytes)
+
+
+def feature_tensor_name(producer: str) -> str:
+    """Canonical name of the feature tensor produced by ``producer``."""
+    return f"f:{producer}"
+
+
+def weight_tensor_name(node: str) -> str:
+    """Canonical name of the weight tensor consumed by ``node``."""
+    return f"w:{node}"

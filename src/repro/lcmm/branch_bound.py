@@ -1,0 +1,146 @@
+"""Branch-and-bound exact allocator.
+
+:func:`repro.lcmm.dnnk.exhaustive_allocate` enumerates every subset and
+caps out around 20 buffers.  This module solves the same problem exactly
+for medium instances (up to roughly 40 buffers) by depth-first search
+with pruning.
+
+The pruning bound is built from per-buffer gain ceilings: the marginal
+gain of buffer ``b`` in *any* context is at most the total reducible
+slack of the nodes it touches — ``sum over affected nodes n of
+(lat(n, nothing on-chip) - lat(n, every candidate on-chip))`` — because a
+node's latency is monotone in its off-chip set.  The classic
+fractional-knapsack relaxation over those ceilings is therefore a valid
+optimistic bound for any partial solution.  (A tighter "gain given all
+others resident" bound would be invalid: the gains are neither sub- nor
+supermodular — pinning one tensor can expose another interface as the
+binding term and shrink a later marginal.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.sram import URAM_BYTES
+from repro.lcmm.buffers import VirtualBuffer
+from repro.lcmm.dnnk import DNNKResult, _GainEvaluator, dnnk_allocate
+from repro.perf.latency import LatencyModel
+
+#: Default instance-size guard; the search is still exponential at heart.
+DEFAULT_MAX_BUFFERS = 40
+
+
+@dataclass
+class _SearchState:
+    """Mutable best-so-far of the DFS."""
+
+    best_gain: float
+    best_mask: int
+    nodes_visited: int = 0
+
+
+def branch_and_bound_allocate(
+    buffers: list[VirtualBuffer],
+    model: LatencyModel,
+    capacity_bytes: int,
+    granularity: int = URAM_BYTES,
+    max_buffers: int = DEFAULT_MAX_BUFFERS,
+) -> DNNKResult:
+    """Provably optimal allocation for medium instances.
+
+    Args:
+        buffers: Virtual buffer list.
+        model: Latency model.
+        capacity_bytes: On-chip memory available to tensor buffers.
+        granularity: Block size buffers are rounded up to (matches DNNK).
+        max_buffers: Guard against intractable instances.
+
+    Raises:
+        ValueError: If more than ``max_buffers`` buffers are given.
+    """
+    if len(buffers) > max_buffers:
+        raise ValueError(
+            f"branch-and-bound limited to {max_buffers} buffers, got {len(buffers)}"
+        )
+    if capacity_bytes < 0:
+        raise ValueError("capacity_bytes must be non-negative")
+
+    units = capacity_bytes // granularity
+    sizes = [math.ceil(b.size_bytes / granularity) for b in buffers]
+    evaluator = _GainEvaluator(model, buffers)
+    n = len(buffers)
+    full_mask = (1 << n) - 1
+
+    # Per-buffer gain ceiling: the total reducible slack of the nodes the
+    # buffer touches (valid in any context, see module docstring).
+    all_on = full_mask
+    upper = []
+    for i in range(n):
+        slack = 0.0
+        for node in evaluator._affected[i]:
+            slack += evaluator.node_latency_under_mask(node, 0)
+            slack -= evaluator.node_latency_under_mask(node, all_on)
+        upper.append(slack)
+
+    # Branch in descending bound-density order so good solutions are found
+    # early and the fractional bound prunes aggressively.
+    order = sorted(
+        range(n), key=lambda i: -(upper[i] / sizes[i] if sizes[i] else math.inf)
+    )
+
+    # Warm start from DNNK so pruning bites immediately.
+    warm = dnnk_allocate(buffers, model, capacity_bytes, granularity)
+    warm_mask = 0
+    for i, buf in enumerate(buffers):
+        if buf in warm.allocated:
+            warm_mask |= 1 << i
+    baseline = model.total_latency()
+    warm_gain = baseline - model.total_latency(warm.onchip_tensors)
+    state = _SearchState(best_gain=warm_gain, best_mask=warm_mask)
+
+    def fractional_bound(pos: int, remaining: int) -> float:
+        """Optimistic gain from buffers order[pos:] within ``remaining``."""
+        bound = 0.0
+        for k in range(pos, n):
+            i = order[k]
+            if upper[i] <= 0:
+                continue
+            if sizes[i] <= remaining:
+                bound += upper[i]
+                remaining -= sizes[i]
+            else:
+                bound += upper[i] * remaining / sizes[i]
+                break
+        return bound
+
+    def dfs(pos: int, mask: int, gain: float, remaining: int) -> None:
+        state.nodes_visited += 1
+        if gain > state.best_gain + 1e-15:
+            state.best_gain = gain
+            state.best_mask = mask
+        if pos == n:
+            return
+        if gain + fractional_bound(pos, remaining) <= state.best_gain + 1e-15:
+            return
+        i = order[pos]
+        # Include branch first (density order makes it the promising one).
+        if sizes[i] <= remaining:
+            marginal = evaluator.gain(i, mask)
+            dfs(pos + 1, mask | 1 << i, gain + marginal, remaining - sizes[i])
+        dfs(pos + 1, mask, gain, remaining)
+
+    dfs(0, 0, 0.0, units)
+
+    chosen = [i for i in range(n) if state.best_mask >> i & 1]
+    onchip = frozenset(
+        name for i in chosen for name in buffers[i].tensor_names
+    )
+    return DNNKResult(
+        allocated=[buffers[i] for i in chosen],
+        spilled=[b for i, b in enumerate(buffers) if not state.best_mask >> i & 1],
+        onchip_tensors=onchip,
+        predicted_reduction=state.best_gain,
+        capacity_bytes=capacity_bytes,
+        used_bytes=sum(buffers[i].size_bytes for i in chosen),
+    )

@@ -1,0 +1,500 @@
+"""DNNK — the DNN Knapsack on-chip memory allocator (Alg. 1, Sec. 3.3).
+
+The allocation problem is a 0/1 knapsack: items are virtual buffers (size =
+largest member tensor), capacity is the on-chip memory left after the tile
+buffers, and the value of a buffer is the latency reduction of pinning its
+member tensors on chip (Eq. 5).  The complication the paper calls *pivot
+compensation* (Eq. 4) is that values are not additive: a node's latency is
+the max of its compute and per-interface transfer terms, so the gain of
+removing one transfer depends on which of the node's *other* tensors are
+already on chip.
+
+Alg. 1 handles this by consulting, while evaluating buffer ``i`` at
+capacity column ``j``, the decisions earlier rows made *in the same
+column* (``pbuf_table(op.get_idx(d), j)``).  We implement exactly that
+context rule, but compute the resulting marginal gain exactly from the
+latency model (a per-node max) instead of via the paper's
+subtract-the-next-lower-latency bookkeeping — the two coincide where Eq. 4
+is well defined, and the exact form extends cleanly to nodes with several
+input tensors.  Because the column context is an approximation of the true
+knapsack path, the final allocation is always re-scored with the exact
+Eq. 1 evaluator; tests compare DNNK against exhaustive search on small
+instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.hw.sram import URAM_BYTES
+from repro.ir.tensor import TensorKind
+from repro.lcmm.buffers import VirtualBuffer
+from repro.perf.latency import LatencyModel
+
+
+@dataclass
+class DNNKResult:
+    """Outcome of a DNNK run.
+
+    Attributes:
+        allocated: Virtual buffers granted on-chip memory, in input order.
+        spilled: Virtual buffers left in DDR.
+        onchip_tensors: All tensor values resident on chip.
+        predicted_reduction: The DP objective value (approximate — the
+            column-context gains; re-score with the latency model for
+            exact numbers).
+        capacity_bytes: The capacity the run was given.
+        used_bytes: Summed size of the allocated buffers.
+    """
+
+    allocated: list[VirtualBuffer]
+    spilled: list[VirtualBuffer]
+    onchip_tensors: frozenset[str]
+    predicted_reduction: float
+    capacity_bytes: int
+    used_bytes: int
+
+
+class _GainEvaluator:
+    """Exact marginal latency gain of taking one buffer, given a context.
+
+    The context is the set of buffers already decided on-chip in the same
+    capacity column.  Gains are memoised per buffer on the *relevant*
+    sub-mask — the context bits belonging to buffers that touch the same
+    nodes — so repeated columns with identical local context hit the cache.
+    """
+
+    def __init__(self, model: LatencyModel, buffers: list[VirtualBuffer]) -> None:
+        self._model = model
+        self._buffers = buffers
+        # tensor value name -> index of the buffer holding it.
+        self._tensor_buffer: dict[str, int] = {}
+        for idx, buf in enumerate(buffers):
+            for t in buf.tensors:
+                self._tensor_buffer[t.name] = idx
+        # node -> (compute, tuple of (kind, tensor, latency)) restricted to
+        # slots whose tensor is a candidate (others never change state).
+        self._node_info: dict[str, tuple[float, tuple, float]] = {}
+        # buffer index -> nodes it affects.
+        self._affected: list[tuple[str, ...]] = []
+        # buffer index -> bitmask of buffer indices sharing a node with it.
+        self._relevant_mask: list[int] = []
+        # buffer index -> frozenset of its member tensor names.
+        self._member_tensors: list[frozenset[str]] = [
+            frozenset(b.tensor_names) for b in buffers
+        ]
+        node_to_buffers: dict[str, set[int]] = {}
+        for idx, buf in enumerate(buffers):
+            nodes = sorted({n for t in buf.tensors for n in t.affected_nodes})
+            self._affected.append(tuple(nodes))
+            for n in nodes:
+                node_to_buffers.setdefault(n, set()).add(idx)
+        for idx in range(len(buffers)):
+            mask = 0
+            for n in self._affected[idx]:
+                for other in node_to_buffers[n]:
+                    mask |= 1 << other
+            self._relevant_mask.append(mask)
+        self._cache: list[dict[int, float]] = [dict() for _ in buffers]
+
+    def _node_latency(self, node: str, onchip: frozenset[str]) -> float:
+        ll = self._model.layer(node)
+        return ll.latency(onchip)
+
+    def _context_tensors(self, node: str, context_mask: int) -> set[str]:
+        """Tensors of ``node`` resident on-chip under a context mask."""
+        resident = set()
+        for slot in self._model.layer(node).slots:
+            buf_idx = self._tensor_buffer.get(slot.tensor)
+            if buf_idx is not None and context_mask >> buf_idx & 1:
+                resident.add(slot.tensor)
+        return resident
+
+    def node_latency_under_mask(self, node: str, context_mask: int) -> float:
+        """Exact Eq. 1 latency of one node given a buffer bitmask."""
+        return self._node_latency(node, frozenset(self._context_tensors(node, context_mask)))
+
+    def move_delta(self, context_mask: int, add: int | None, drop: int | None) -> float:
+        """Exact latency change of adding/dropping buffers (negative = better)."""
+        new_mask = context_mask
+        affected: set[str] = set()
+        if drop is not None:
+            new_mask &= ~(1 << drop)
+            affected.update(self._affected[drop])
+        if add is not None:
+            new_mask |= 1 << add
+            affected.update(self._affected[add])
+        delta = 0.0
+        for node in affected:
+            delta += self.node_latency_under_mask(node, new_mask)
+            delta -= self.node_latency_under_mask(node, context_mask)
+        return delta
+
+    def gain(self, buffer_index: int, context_mask: int) -> float:
+        """Marginal latency reduction of taking ``buffer_index``.
+
+        Args:
+            buffer_index: Buffer under consideration.
+            context_mask: Bitmask of buffers already on-chip in this
+                capacity column (earlier rows' decisions).
+        """
+        key = context_mask & self._relevant_mask[buffer_index]
+        cached = self._cache[buffer_index].get(key)
+        if cached is not None:
+            return cached
+        members = self._member_tensors[buffer_index]
+        total = 0.0
+        for node in self._affected[buffer_index]:
+            before = frozenset(self._context_tensors(node, context_mask))
+            after = frozenset(before | members)
+            total += self._node_latency(node, before) - self._node_latency(node, after)
+        self._cache[buffer_index][key] = total
+        return total
+
+
+def dnnk_allocate(
+    buffers: list[VirtualBuffer],
+    model: LatencyModel,
+    capacity_bytes: int,
+    granularity: int = URAM_BYTES,
+) -> DNNKResult:
+    """Run the DNNK dynamic program (Alg. 1 of the paper).
+
+    Args:
+        buffers: Unallocated virtual buffer list (feature + weight).
+        model: Latency model supplying the operation latency table.
+        capacity_bytes: On-chip memory available for tensor buffers
+            (``Rsram`` in the paper).
+        granularity: Capacity quantum of the DP sweep; defaults to one
+            URAM block, the unit the device allocates buffers in.
+
+    Returns:
+        The allocation, with decisions backtraced from the DP memo.
+    """
+    if capacity_bytes < 0:
+        raise ValueError("capacity_bytes must be non-negative")
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+
+    units = capacity_bytes // granularity
+    sizes = [math.ceil(b.size_bytes / granularity) for b in buffers]
+    evaluator = _GainEvaluator(model, buffers)
+
+    # The DP's column-context gains depend on the order buffers are
+    # processed in, so run it under two orderings — the caller's list
+    # order (largest-first, from the colouring) and descending
+    # value-density — refine each with local search, and keep whichever
+    # scores better under the exact Eq. 1 evaluator.
+    orders = [list(range(len(buffers)))]
+    density_order = sorted(
+        range(len(buffers)),
+        key=lambda i: -buffers[i].total_latency_reduction / max(1, sizes[i]),
+    )
+    if density_order != orders[0]:
+        orders.append(density_order)
+
+    best_chosen: set[int] = set()
+    best_latency = float("inf")
+    best_predicted = 0.0
+    for order in orders:
+        chosen_set, predicted = _dp_pass(order, sizes, units, evaluator)
+        chosen_set = _local_search(chosen_set, sizes, units, evaluator, len(buffers))
+        onchip = frozenset(
+            name for i in chosen_set for name in buffers[i].tensor_names
+        )
+        latency = model.total_latency(onchip)
+        if latency < best_latency - 1e-18:
+            best_latency = latency
+            best_chosen = chosen_set
+            best_predicted = predicted
+    chosen_set = best_chosen
+    chosen = sorted(chosen_set)
+
+    allocated = [buffers[i] for i in chosen]
+    spilled = [b for i, b in enumerate(buffers) if i not in chosen_set]
+    onchip = frozenset(name for i in chosen for name in buffers[i].tensor_names)
+    return DNNKResult(
+        allocated=allocated,
+        spilled=spilled,
+        onchip_tensors=onchip,
+        predicted_reduction=best_predicted,
+        capacity_bytes=capacity_bytes,
+        used_bytes=sum(buffers[i].size_bytes for i in chosen),
+    )
+
+
+def _dp_pass(
+    order: list[int],
+    sizes: list[int],
+    units: int,
+    evaluator: _GainEvaluator,
+) -> tuple[set[int], float]:
+    """One pivot-compensated DP sweep over buffers in ``order``.
+
+    Returns the backtraced chosen set (original indices) and the DP's
+    predicted total reduction.
+    """
+    # L[j]: best predicted reduction using buffers processed so far within
+    # capacity j.  decisions[k] is the take/skip bit per column for row k.
+    best = [0.0] * (units + 1)
+    decisions: list[list[bool]] = []
+    # Column context: bitmask of buffers taken at each column by earlier
+    # rows — the paper's pbuf_table(·, j) pivot-compensation context.
+    context = [0] * (units + 1)
+
+    for i in order:
+        size = sizes[i]
+        row = [False] * (units + 1)
+        if size <= units:
+            new_best = list(best)
+            # Sweep descending so best[j - size] is still the prior row.
+            for j in range(units, size - 1, -1):
+                gain = evaluator.gain(i, context[j])
+                take = best[j - size] + gain
+                if take > best[j]:
+                    new_best[j] = take
+                    row[j] = True
+            best = new_best
+        decisions.append(row)
+        for j in range(units + 1):
+            if row[j]:
+                context[j] |= 1 << i
+
+    # Standard knapsack backtrace over the stored decisions.
+    chosen_set: set[int] = set()
+    j = units
+    for k in range(len(order) - 1, -1, -1):
+        if decisions[k][j]:
+            chosen_set.add(order[k])
+            j -= sizes[order[k]]
+    return chosen_set, best[units]
+
+
+def _local_search(
+    chosen_set: set[int],
+    sizes: list[int],
+    units: int,
+    evaluator: _GainEvaluator,
+    num_buffers: int,
+) -> set[int]:
+    """Exact-gain local-search refinement of a DP allocation.
+
+    The column-context DP has two blind spots: a buffer whose gain only
+    materialises once a partner is resident (Eq. 2's second-tier tensors)
+    reads as worthless when its row runs, and an early over-valued pick
+    can crowd out a better large buffer.  Repair both with exact-gain
+    moves against the final allocation — adds first, then adds with
+    evictions — each strictly improving and capacity-respecting, until a
+    full sweep changes nothing.
+    """
+    chosen_set = set(chosen_set)
+    remaining = units - sum(sizes[i] for i in chosen_set)
+    for _ in range(2 * num_buffers + 1):
+        context_mask = 0
+        for i in chosen_set:
+            context_mask |= 1 << i
+        improved = False
+        for i in range(num_buffers):
+            if i in chosen_set or sizes[i] > remaining:
+                continue
+            if evaluator.gain(i, context_mask) > 1e-15:
+                chosen_set.add(i)
+                context_mask |= 1 << i
+                remaining -= sizes[i]
+                improved = True
+        if not improved:
+            # Pair-add: two complementary buffers (e.g. the if and wt
+            # tensors of one operation) can each be worthless alone yet
+            # valuable together — no single-add move ever discovers them.
+            pair = None
+            spilled = [
+                i
+                for i in range(num_buffers)
+                if i not in chosen_set and sizes[i] <= remaining
+            ]
+            for a_pos, a in enumerate(spilled):
+                for b in spilled[a_pos + 1 :]:
+                    if sizes[a] + sizes[b] > remaining:
+                        continue
+                    # Only pairs that share a node can be complementary.
+                    if not (evaluator._relevant_mask[a] >> b & 1):
+                        continue
+                    trial = (context_mask | 1 << a) | 1 << b
+                    affected = set(evaluator._affected[a]) | set(
+                        evaluator._affected[b]
+                    )
+                    delta = sum(
+                        evaluator.node_latency_under_mask(n, trial)
+                        - evaluator.node_latency_under_mask(n, context_mask)
+                        for n in affected
+                    )
+                    if delta < -1e-15:
+                        pair = (a, b)
+                        break
+                if pair:
+                    break
+            if pair:
+                chosen_set.update(pair)
+                remaining -= sizes[pair[0]] + sizes[pair[1]]
+                improved = True
+        if not improved:
+            # Add-with-eviction: offer each spilled buffer; evict the
+            # cheapest (per block) residents until it fits, and keep the
+            # exchange only when the exact Eq. 1 total improves.
+            for inc in range(num_buffers):
+                if inc in chosen_set or sizes[inc] > units:
+                    continue
+                eviction_orders = (
+                    sorted(
+                        chosen_set,
+                        key=lambda i: evaluator.move_delta(context_mask, add=None, drop=i)
+                        / sizes[i],
+                    ),
+                    sorted(chosen_set, key=lambda i: -sizes[i]),
+                )
+                best_delta = 0.0
+                best_evict: list[int] | None = None
+                for order in eviction_orders:
+                    evict: list[int] = []
+                    freed = remaining
+                    for out in order:
+                        if freed >= sizes[inc]:
+                            break
+                        evict.append(out)
+                        freed += sizes[out]
+                    if freed < sizes[inc]:
+                        continue
+                    trial_mask = context_mask | 1 << inc
+                    for out in evict:
+                        trial_mask &= ~(1 << out)
+                    affected = set(evaluator._affected[inc])
+                    for out in evict:
+                        affected.update(evaluator._affected[out])
+                    delta = sum(
+                        evaluator.node_latency_under_mask(n, trial_mask)
+                        - evaluator.node_latency_under_mask(n, context_mask)
+                        for n in affected
+                    )
+                    if delta < best_delta - 1e-15:
+                        best_delta = delta
+                        best_evict = evict
+                if best_evict is not None:
+                    chosen_set.difference_update(best_evict)
+                    chosen_set.add(inc)
+                    remaining = units - sum(sizes[i] for i in chosen_set)
+                    improved = True
+                    break
+        if not improved:
+            break
+    return chosen_set
+
+
+def greedy_allocate(
+    buffers: list[VirtualBuffer],
+    model: LatencyModel,
+    capacity_bytes: int,
+    granularity: int = URAM_BYTES,
+) -> DNNKResult:
+    """Density-greedy baseline allocator (ablation reference).
+
+    Repeatedly takes the buffer with the best exact marginal
+    reduction-per-byte that still fits, with the same block-granular size
+    accounting as DNNK.  Used to quantify what the dynamic program buys
+    over the obvious heuristic.
+    """
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    block_sizes = [
+        math.ceil(b.size_bytes / granularity) * granularity for b in buffers
+    ]
+    remaining = (capacity_bytes // granularity) * granularity
+    pool = list(range(len(buffers)))
+    onchip: set[str] = set()
+    chosen: list[int] = []
+    total_gain = 0.0
+    while pool:
+        best_idx, best_density, best_gain = None, 0.0, 0.0
+        for i in pool:
+            buf = buffers[i]
+            if block_sizes[i] > remaining:
+                continue
+            before = frozenset(onchip)
+            after = frozenset(onchip | set(buf.tensor_names))
+            nodes = {n for t in buf.tensors for n in t.affected_nodes}
+            gain = sum(
+                model.node_latency(n, before) - model.node_latency(n, after)
+                for n in nodes
+            )
+            density = gain / buf.size_bytes
+            if density > best_density:
+                best_idx, best_density, best_gain = i, density, gain
+        if best_idx is None:
+            break
+        pool.remove(best_idx)
+        chosen.append(best_idx)
+        onchip.update(buffers[best_idx].tensor_names)
+        remaining -= block_sizes[best_idx]
+        total_gain += best_gain
+    chosen_set = set(chosen)
+    return DNNKResult(
+        allocated=[buffers[i] for i in sorted(chosen_set)],
+        spilled=[b for i, b in enumerate(buffers) if i not in chosen_set],
+        onchip_tensors=frozenset(onchip),
+        predicted_reduction=total_gain,
+        capacity_bytes=capacity_bytes,
+        used_bytes=capacity_bytes - remaining,
+    )
+
+
+def exhaustive_allocate(
+    buffers: list[VirtualBuffer],
+    model: LatencyModel,
+    capacity_bytes: int,
+    max_buffers: int = 20,
+    granularity: int = URAM_BYTES,
+) -> DNNKResult:
+    """Optimal allocation by exhaustive subset search (test oracle only).
+
+    Scores every fitting subset with the exact Eq. 1 evaluator, using the
+    same block-granular size accounting as :func:`dnnk_allocate` so the
+    two are comparable.  Guarded to small instances — the search is
+    exponential by construction.
+
+    Raises:
+        ValueError: If more than ``max_buffers`` buffers are given.
+    """
+    if len(buffers) > max_buffers:
+        raise ValueError(
+            f"exhaustive search limited to {max_buffers} buffers, got {len(buffers)}"
+        )
+    baseline = model.total_latency()
+    block_sizes = [
+        math.ceil(b.size_bytes / granularity) * granularity for b in buffers
+    ]
+    best_subset: tuple[int, ...] = ()
+    best_latency = baseline
+    for r in range(len(buffers) + 1):
+        for subset in itertools.combinations(range(len(buffers)), r):
+            size = sum(block_sizes[i] for i in subset)
+            if size > capacity_bytes:
+                continue
+            onchip = frozenset(
+                name for i in subset for name in buffers[i].tensor_names
+            )
+            latency = model.total_latency(onchip)
+            if latency < best_latency - 1e-15:
+                best_latency = latency
+                best_subset = subset
+    chosen_set = set(best_subset)
+    return DNNKResult(
+        allocated=[buffers[i] for i in best_subset],
+        spilled=[b for i, b in enumerate(buffers) if i not in chosen_set],
+        onchip_tensors=frozenset(
+            name for i in best_subset for name in buffers[i].tensor_names
+        ),
+        predicted_reduction=baseline - best_latency,
+        capacity_bytes=capacity_bytes,
+        used_bytes=sum(buffers[i].size_bytes for i in best_subset),
+    )

@@ -1,0 +1,134 @@
+"""The traditional double-buffer allocation for linear networks.
+
+The paper's introduction contrasts LCMM against "the traditional double
+buffer allocation for linear structures used by previous models like
+AlexNet and VGG": two ping-pong feature buffers, each sized for the
+largest feature map, alternate between holding a layer's input and its
+output, so every intermediate activation stays on chip — but the scheme
+only makes sense when the graph is a simple chain.  On ResNet's shortcut
+edges or an inception block's branches, a value must outlive the very
+next layer and the ping-pong invariant breaks (Sec. 1: "not enough for
+DNNs with complex graph topology").
+
+This module implements that legacy allocator precisely so the repository
+can demonstrate the motivation: it succeeds on AlexNet/VGG and refuses
+non-linear graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import OpType
+from repro.ir.tensor import feature_tensor_name
+from repro.perf.latency import LatencyModel
+from repro.perf.systolic import AcceleratorConfig
+
+
+class LinearityError(ValueError):
+    """Raised when double buffering is applied to a non-linear graph."""
+
+
+def is_linear(graph: ComputationGraph) -> bool:
+    """Whether the graph is a simple chain.
+
+    Linear means: every executed node has at most one feature consumer,
+    and that consumer is the next node in the schedule — the condition
+    under which two ping-pong buffers suffice.
+    """
+    schedule = graph.compute_schedule()
+    position = {name: idx for idx, name in enumerate(schedule)}
+    for tensor in graph.feature_tensors():
+        if graph.layer(tensor.producer).op_type is OpType.INPUT:
+            continue
+        if len(tensor.consumers) != 1:
+            return False
+        producer_pos = position.get(tensor.producer)
+        consumer_pos = position.get(tensor.consumers[0])
+        if producer_pos is None or consumer_pos != producer_pos + 1:
+            return False
+    return True
+
+
+@dataclass
+class DoubleBufferResult:
+    """Outcome of the legacy double-buffer allocation.
+
+    Attributes:
+        graph_name: Model evaluated.
+        latency: End-to-end latency with all intermediate features
+            on chip (weights still stream from DDR).
+        throughput: Ops/second over the network's nominal operations.
+        buffer_bytes: Size of ONE ping-pong buffer (the largest feature
+            map); the design instantiates two.
+        onchip_tensors: Feature values kept on chip.
+    """
+
+    graph_name: str
+    latency: float
+    throughput: float
+    buffer_bytes: int
+    onchip_tensors: frozenset[str]
+
+    @property
+    def total_buffer_bytes(self) -> int:
+        """Footprint of both ping-pong buffers."""
+        return 2 * self.buffer_bytes
+
+    @property
+    def tops(self) -> float:
+        """Throughput in tera-ops/second."""
+        return self.throughput / 1e12
+
+
+def run_double_buffer(
+    graph: ComputationGraph,
+    accel: AcceleratorConfig,
+    model: LatencyModel | None = None,
+) -> DoubleBufferResult:
+    """Evaluate the legacy double-buffer scheme on a linear network.
+
+    Args:
+        graph: A linear computation graph (AlexNet/VGG-like).
+        accel: The accelerator design point.
+        model: Optional pre-built latency model to reuse.
+
+    Raises:
+        LinearityError: If the graph has branches, joins or skip edges.
+        MemoryError: If two buffers of the largest feature map exceed the
+            device's on-chip memory.
+    """
+    if not is_linear(graph):
+        raise LinearityError(
+            f"graph {graph.name!r} is not a linear chain; the traditional "
+            "double-buffer allocation does not apply (use run_lcmm)"
+        )
+    model = model or LatencyModel(graph, accel)
+    elem = accel.precision.bytes
+
+    # All intermediate features live on chip; the network input still
+    # arrives over DDR and the final output still leaves over DDR.
+    onchip = set()
+    largest = 0
+    for tensor in graph.feature_tensors():
+        if graph.layer(tensor.producer).op_type is OpType.INPUT:
+            continue
+        onchip.add(tensor.name)
+        largest = max(largest, tensor.bytes(elem))
+
+    if 2 * largest > accel.device.sram_bytes - accel.tile_buffer_bytes():
+        raise MemoryError(
+            f"two {largest}-byte ping-pong buffers do not fit next to the "
+            f"tile buffers on {accel.device.name}"
+        )
+
+    onchip_frozen = frozenset(onchip)
+    latency = model.total_latency(onchip_frozen)
+    return DoubleBufferResult(
+        graph_name=graph.name,
+        latency=latency,
+        throughput=model.throughput(latency),
+        buffer_bytes=largest,
+        onchip_tensors=onchip_frozen,
+    )

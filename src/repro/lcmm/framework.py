@@ -1,0 +1,360 @@
+"""The LCMM framework — orchestrates the four techniques (Fig. 4).
+
+Pipeline, exactly as the paper's flow diagram:
+
+1. the DSE-provided design point fixes the PE array and tile buffers;
+2. **feature buffer reuse** colours lifetime-disjoint feature tensors into
+   shared virtual buffers (Sec. 3.1);
+3. **weight buffer prefetching** builds the PDG, bounds weight lifespans
+   and colours weight buffers (Sec. 3.2);
+4. **DNNK** allocates physical on-chip memory to the virtual buffers
+   (Sec. 3.3);
+5. **buffer splitting** retries with false interference edges when a
+   high-value tensor was misspilled (Sec. 3.4).
+
+The result carries the exact end-to-end latency (Eq. 1 with prefetch
+residuals), the physical buffer map and the utilisation metrics Tab. 1,
+Tab. 2 and Fig. 8 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.sram import SRAMBudget, SRAMUsage, blocks_for, BRAM36_BYTES, URAM_BYTES
+from repro.ir.graph import ComputationGraph
+from repro.ir.tensor import weight_tensor_name
+from repro.lcmm.buffers import PhysicalBuffer, VirtualBuffer
+from repro.lcmm.coloring import color_buffers
+from repro.lcmm.dnnk import DNNKResult, dnnk_allocate, greedy_allocate
+from repro.lcmm.feature_reuse import FeatureReuseResult, feature_reuse_pass
+from repro.lcmm.interference import InterferenceGraph
+from repro.lcmm.prefetch import PrefetchResult, weight_prefetch_pass
+from repro.lcmm.splitting import buffer_splitting_pass, combine_buffers
+from repro.lcmm.umm import UMMResult, run_umm
+from repro.perf.latency import LatencyModel
+from repro.perf.systolic import AcceleratorConfig
+
+
+@dataclass
+class LCMMOptions:
+    """Feature switches of the framework (used by the ablation benches).
+
+    Attributes:
+        feature_reuse: Enable the feature buffer reuse pass.
+        weight_prefetch: Enable the weight prefetching pass.
+        splitting: Enable the buffer splitting pass.
+        use_greedy: Replace DNNK with the density-greedy allocator.
+        granularity: DNNK capacity quantum in bytes.
+        sram_budget: Override the on-chip memory available to LCMM
+            (tile buffers included); defaults to the whole device.
+        prefetch_refinement: Extra fixpoint iterations of the prefetch
+            pass.  The paper computes hiding windows once, against UMM
+            latencies; each refinement recomputes them against the
+            latencies of the current allocation (which are shorter, so
+            windows shrink and spans lengthen) and re-allocates.  Kept at
+            0 by default for paper fidelity.
+        fractional_fill: After DNNK, fill leftover capacity with *partial*
+            pins of spilled feature tensors — the resident channel slice
+            stops streaming, the remainder still pays DDR.  An extension
+            beyond the paper (off by default): whole-tensor knapsacks
+            strand capacity smaller than any remaining tensor.
+    """
+
+    feature_reuse: bool = True
+    weight_prefetch: bool = True
+    splitting: bool = True
+    use_greedy: bool = False
+    granularity: int = URAM_BYTES
+    sram_budget: int | None = None
+    prefetch_refinement: int = 0
+    fractional_fill: bool = False
+
+
+@dataclass
+class LCMMResult:
+    """Outcome of an LCMM run.
+
+    Attributes:
+        graph_name: Model evaluated.
+        accel: The design point.
+        latency: Exact end-to-end latency (Eq. 1 + prefetch residuals).
+        throughput: Ops/second over the network's nominal operations.
+        onchip_tensors: Tensor values resident on chip.
+        residuals: Unhidden prefetch seconds per on-chip weight tensor.
+        node_latencies: Per executed node latency under the allocation.
+        feature_result: Feature reuse pass output.
+        prefetch_result: Weight prefetching pass output.
+        dnnk_result: Final allocator decision.
+        physical_buffers: On-chip buffers with block placement.
+        sram_usage: Block-level memory consumption (tile + tensor buffers).
+        splitting_iterations: Buffer splits that were kept.
+    """
+
+    graph_name: str
+    accel: AcceleratorConfig
+    latency: float
+    throughput: float
+    onchip_tensors: frozenset[str]
+    residuals: dict[str, float]
+    node_latencies: dict[str, float]
+    feature_result: FeatureReuseResult
+    prefetch_result: PrefetchResult
+    dnnk_result: DNNKResult
+    physical_buffers: list[PhysicalBuffer]
+    sram_usage: SRAMUsage
+    splitting_iterations: int
+    #: Partial residency per spilled tensor (extension; empty unless
+    #: ``LCMMOptions.fractional_fill`` is enabled).
+    fractions: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tops(self) -> float:
+        """Throughput in tera-ops/second."""
+        return self.throughput / 1e12
+
+    @property
+    def sram_utilization(self) -> float:
+        """Fraction of device SRAM consumed (tile + tensor buffers)."""
+        return self.sram_usage.used_bytes / self.accel.device.sram_bytes
+
+    def percentage_onchip_layers(self, model: LatencyModel) -> float:
+        """POL metric of Tab. 2: memory-bound layers that benefit.
+
+        A memory-bound layer benefits when at least one of its tensors is
+        resident on chip.
+        """
+        bound = model.memory_bound_nodes()
+        if not bound:
+            return 0.0
+        benefiting = 0
+        for node in bound:
+            slots = model.layer(node).slots
+            if any(s.tensor in self.onchip_tensors for s in slots):
+                benefiting += 1
+        return benefiting / len(bound)
+
+
+def _empty_feature_result() -> FeatureReuseResult:
+    return FeatureReuseResult(
+        candidates=[], interference=InterferenceGraph(), buffers=[]
+    )
+
+
+def _empty_prefetch_result() -> PrefetchResult:
+    return PrefetchResult(
+        edges={}, candidates=[], interference=InterferenceGraph(), buffers=[]
+    )
+
+
+def _compute_residuals(
+    model: LatencyModel,
+    prefetch: PrefetchResult,
+    onchip: frozenset[str],
+) -> dict[str, float]:
+    """Unhidden prefetch time per on-chip weight tensor.
+
+    Hiding capacity is re-measured on the *post-allocation* schedule:
+    pinning tensors on chip makes earlier nodes faster, which shrinks the
+    window a prefetch can hide behind.
+    """
+    from repro.lcmm.prefetch import hiding_capacity
+
+    schedule = model.nodes()
+    index_of = {name: idx for idx, name in enumerate(schedule)}
+    latencies = [model.node_latency(name, onchip) for name in schedule]
+    capacities = hiding_capacity(model, latencies, schedule, onchip)
+    residuals: dict[str, float] = {}
+    for node, edge in prefetch.edges.items():
+        wname = weight_tensor_name(node)
+        if wname not in onchip:
+            continue
+        start, end = index_of[edge.start], index_of[node]
+        hidden = sum(capacities[start:end])
+        residual = max(0.0, edge.load_time - hidden)
+        if residual > 0.0:
+            residuals[wname] = residual
+    return residuals
+
+
+def run_lcmm(
+    graph: ComputationGraph,
+    accel: AcceleratorConfig,
+    options: LCMMOptions | None = None,
+    model: LatencyModel | None = None,
+) -> LCMMResult:
+    """Run the full LCMM pipeline on a model and design point.
+
+    Args:
+        graph: The DNN computation graph.
+        accel: The accelerator design point (from DSE).
+        options: Feature switches; defaults enable everything.
+        model: Optional pre-built latency model to reuse.
+    """
+    options = options or LCMMOptions()
+    model = model or LatencyModel(graph, accel)
+
+    feature = (
+        feature_reuse_pass(graph, model)
+        if options.feature_reuse
+        else _empty_feature_result()
+    )
+    prefetch = (
+        weight_prefetch_pass(graph, model)
+        if options.weight_prefetch
+        else _empty_prefetch_result()
+    )
+
+    budget = options.sram_budget
+    if budget is None:
+        budget = accel.device.sram_bytes
+    # Tile buffers consume whole BRAM blocks; subtract the block-rounded
+    # footprint so the block-level placement below can never overflow.
+    tile_bytes = blocks_for(accel.tile_buffer_bytes(), BRAM36_BYTES) * BRAM36_BYTES
+    capacity = budget - tile_bytes
+    if capacity < 0:
+        raise ValueError(
+            f"tile buffers alone exceed the SRAM budget ({tile_bytes} > {budget} bytes)"
+        )
+
+    def evaluate(onchip: frozenset[str]) -> float:
+        residuals = _compute_residuals(model, prefetch, onchip)
+        return model.total_latency(onchip, residuals)
+
+    if options.use_greedy:
+        buffers = combine_buffers([feature.buffers, prefetch.buffers])
+        dnnk = greedy_allocate(buffers, model, capacity)
+        splits = 0
+    elif options.splitting:
+        outcome = buffer_splitting_pass(
+            feature.interference,
+            prefetch.interference,
+            model,
+            capacity,
+            evaluate,
+            granularity=options.granularity,
+        )
+        buffers, dnnk, splits = outcome.buffers, outcome.result, outcome.iterations
+        # The splitting loop may have added false edges; refresh the
+        # per-pass buffer views so they stay consistent with their graphs.
+        feature.buffers = color_buffers(feature.interference)
+        prefetch.buffers = color_buffers(prefetch.interference)
+    else:
+        buffers = combine_buffers([feature.buffers, prefetch.buffers])
+        dnnk = dnnk_allocate(buffers, model, capacity, options.granularity)
+        splits = 0
+
+    onchip = dnnk.onchip_tensors
+    residuals = _compute_residuals(model, prefetch, onchip)
+    latency = model.total_latency(onchip, residuals)
+    node_latencies = {
+        name: model.node_latency(name, onchip, residuals) for name in model.nodes()
+    }
+
+    # Optional fixpoint refinement: re-derive prefetch windows from the
+    # achieved (faster) schedule, re-colour the weight buffers with the
+    # new lifespans and re-allocate; keep each iteration only if the
+    # exact latency improves.
+    for _ in range(options.prefetch_refinement):
+        if not options.weight_prefetch:
+            break
+        refined = weight_prefetch_pass(graph, model, node_latencies)
+        refined_buffers = combine_buffers([feature.buffers, refined.buffers])
+        if options.use_greedy:
+            refined_dnnk = greedy_allocate(refined_buffers, model, capacity)
+        else:
+            refined_dnnk = dnnk_allocate(
+                refined_buffers, model, capacity, options.granularity
+            )
+        refined_onchip = refined_dnnk.onchip_tensors
+        refined_residuals = _compute_residuals(model, refined, refined_onchip)
+        refined_latency = model.total_latency(refined_onchip, refined_residuals)
+        if refined_latency >= latency - 1e-15:
+            break
+        prefetch, dnnk = refined, refined_dnnk
+        buffers, onchip = refined_buffers, refined_onchip
+        residuals, latency = refined_residuals, refined_latency
+        node_latencies = {
+            name: model.node_latency(name, onchip, residuals)
+            for name in model.nodes()
+        }
+
+    # Place tile buffers (BRAM) then tensor buffers (URAM first) in blocks.
+    usage = SRAMUsage(budget=accel.device.sram)
+    usage.bram36_used += blocks_for(accel.tile_buffer_bytes(), BRAM36_BYTES)
+    physical = []
+    for idx, vbuf in enumerate(dnnk.allocated):
+        uram, bram = usage.allocate(vbuf.size_bytes)
+        physical.append(
+            PhysicalBuffer(
+                index=idx, virtual=vbuf, uram_blocks=uram, bram36_blocks=bram
+            )
+        )
+
+    # Extension: fill the capacity a whole-tensor knapsack strands with
+    # partial pins of spilled feature tensors.  The resident channel
+    # slice stops streaming; the remainder still pays DDR transfer.
+    fractions: dict[str, float] = {}
+    if options.fractional_fill:
+        allocated_bytes = sum(
+            blocks_for(b.size_bytes, options.granularity) * options.granularity
+            for b in dnnk.allocated
+        )
+        leftover = capacity - allocated_bytes
+        spill_candidates = sorted(
+            (
+                c
+                for c in feature.candidates
+                if c.name not in onchip and c.latency_reduction > 0
+            ),
+            key=lambda c: -c.latency_reduction / c.size_bytes,
+        )
+        for cand in spill_candidates:
+            if leftover < options.granularity:
+                break
+            # Partial pins occupy whole blocks: floor the usable slice to
+            # the capacity quantum so block-level placement cannot
+            # overflow the budget.
+            usable = min(
+                (leftover // options.granularity) * options.granularity,
+                blocks_for(cand.size_bytes, options.granularity)
+                * options.granularity,
+            )
+            fraction = min(1.0, usable / cand.size_bytes)
+            if fraction <= 0.0:
+                continue
+            trial = dict(fractions)
+            trial[cand.name] = fraction
+            trial_latency = model.total_latency(onchip, residuals, trial)
+            if trial_latency < latency - 1e-15:
+                block_bytes = blocks_for(
+                    min(usable, cand.size_bytes), options.granularity
+                ) * options.granularity
+                if block_bytes > leftover or not usage.can_fit(block_bytes):
+                    continue
+                usage.allocate(block_bytes)
+                fractions = trial
+                latency = trial_latency
+                leftover -= block_bytes
+        if fractions:
+            node_latencies = {
+                name: model.node_latency(name, onchip, residuals, fractions)
+                for name in model.nodes()
+            }
+
+    return LCMMResult(
+        graph_name=graph.name,
+        accel=accel,
+        latency=latency,
+        throughput=model.throughput(latency),
+        onchip_tensors=onchip,
+        residuals=residuals,
+        node_latencies=node_latencies,
+        feature_result=feature,
+        prefetch_result=prefetch,
+        dnnk_result=dnnk,
+        physical_buffers=physical,
+        sram_usage=usage,
+        splitting_iterations=splits,
+        fractions=fractions,
+    )

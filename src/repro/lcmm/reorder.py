@@ -1,0 +1,107 @@
+"""Schedule reordering to shrink feature-tensor liveness (extension).
+
+The paper takes the computation graph's topological order as given; but
+within a branching block the order of independent branches is free, and
+it changes which feature tensors are live simultaneously — and therefore
+how well the colouring of Sec. 3.1 can share buffers.  Scheduling one
+branch to completion before starting its sibling (depth-first) retires
+each branch's intermediates before the next branch's are born; the
+breadth-first order a naive topological sort produces keeps one
+intermediate per branch alive at once.
+
+This module implements a Sethi-Ullman-flavoured heuristic: a depth-first
+schedule that, at every fan-out, visits the child subtree with the larger
+peak feature footprint first.  The reordered graph is a plain
+:class:`ComputationGraph` whose definition order *is* the new schedule,
+so every downstream pass works unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import OpType
+
+
+def _peak_bytes(
+    graph: ComputationGraph, node: str, memo: dict[str, int]
+) -> int:
+    """Heuristic peak feature footprint of the subtree hanging off ``node``."""
+    if node in memo:
+        return memo[node]
+    own = graph.output_shape(node).volume
+    child_peaks = sorted(
+        (_peak_bytes(graph, succ, memo) for succ in graph.successors(node)),
+        reverse=True,
+    )
+    # Visiting children sequentially: the k-th child's peak coexists with
+    # the outputs of the k-1 earlier children (classic Sethi-Ullman).
+    peak = own
+    for idx, child_peak in enumerate(child_peaks):
+        peak = max(peak, own + child_peak + idx * own // 4)
+    memo[node] = peak
+    return peak
+
+
+def reorder_depth_first(graph: ComputationGraph) -> ComputationGraph:
+    """Rebuild a graph with a liveness-friendly depth-first schedule.
+
+    The result is semantically identical (same layers, same edges) but its
+    topological order retires branch intermediates as early as possible.
+
+    Returns:
+        A new :class:`ComputationGraph`; the input is left untouched.
+    """
+    memo: dict[str, int] = {}
+    indegree = {
+        name: len(graph.layer(name).inputs) for name in graph.schedule()
+    }
+    ready = [name for name, deg in indegree.items() if deg == 0]
+    order: list[str] = []
+    # Depth-first: a stack, pushing the heaviest subtree last so it is
+    # popped (and fully retired) first among the newly enabled nodes.
+    stack = sorted(ready, key=lambda n: _peak_bytes(graph, n, memo))
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        enabled = []
+        for succ in graph.successors(node):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                enabled.append(succ)
+        enabled.sort(key=lambda n: _peak_bytes(graph, n, memo))
+        stack.extend(enabled)
+
+    if len(order) != len(graph):
+        raise ValueError(f"graph {graph.name!r} has unreachable or cyclic parts")
+
+    reordered = ComputationGraph(name=graph.name)
+    for name in order:
+        layer = graph.layer(name)
+        # Layers are mutable dataclasses (shape inference writes back);
+        # re-adding the same instances to a fresh graph is safe because
+        # inference is idempotent for identical input shapes.
+        reordered.add(layer)
+    reordered.blocks = {k: list(v) for k, v in graph.blocks.items()}
+    reordered.validate()
+    return reordered
+
+
+def peak_live_feature_bytes(graph: ComputationGraph, element_bytes: int) -> int:
+    """Peak bytes of simultaneously live feature tensors under the
+    graph's current schedule — the quantity reordering tries to shrink."""
+    from repro.lcmm.liveness import feature_live_ranges
+
+    ranges = feature_live_ranges(graph)
+    sizes = {t.name: t.bytes(element_bytes) for t in graph.feature_tensors()}
+    if not ranges:
+        return 0
+    horizon = max(r.end for r in ranges.values())
+    peak = 0
+    for step in range(horizon + 1):
+        live = sum(
+            sizes[name]
+            for name, rng in ranges.items()
+            if rng.start <= step <= rng.end
+        )
+        peak = max(peak, live)
+    return peak

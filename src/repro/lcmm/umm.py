@@ -1,0 +1,73 @@
+"""Uniform memory management — the paper's baseline (Sec. 2.1).
+
+Every layer streams tiles of all three tensors through the double-buffered
+tile buffers; no tensor ever stays on chip between layers.  This is the
+strategy of the prior accelerators the paper compares against ([10, 12,
+18, 22, 23]) and the denominator of every speedup it reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.sram import SRAMBudget, SRAMUsage, blocks_for, BRAM36_BYTES
+from repro.ir.graph import ComputationGraph
+from repro.perf.latency import LatencyModel
+from repro.perf.systolic import AcceleratorConfig
+
+
+@dataclass
+class UMMResult:
+    """Performance and resource summary of a UMM design.
+
+    Attributes:
+        graph_name: Model evaluated.
+        accel: The design point.
+        latency: End-to-end inference latency in seconds.
+        throughput: Ops/second over the network's nominal operations.
+        node_latencies: Per executed node latency, in schedule order.
+        sram_used_bytes: On-chip memory consumed (tile buffers only).
+        sram_utilization: Fraction of device SRAM consumed.
+    """
+
+    graph_name: str
+    accel: AcceleratorConfig
+    latency: float
+    throughput: float
+    node_latencies: dict[str, float]
+    sram_used_bytes: int
+    sram_utilization: float
+
+    @property
+    def tops(self) -> float:
+        """Throughput in tera-ops/second (the paper's headline unit)."""
+        return self.throughput / 1e12
+
+
+def run_umm(
+    graph: ComputationGraph,
+    accel: AcceleratorConfig,
+    model: LatencyModel | None = None,
+) -> UMMResult:
+    """Evaluate a model under uniform memory management.
+
+    Args:
+        graph: The DNN computation graph.
+        accel: The accelerator design point.
+        model: Optional pre-built latency model to reuse.
+    """
+    model = model or LatencyModel(graph, accel)
+    latency = model.umm_latency()
+    node_latencies = {name: model.node_latency(name) for name in model.nodes()}
+    tile_bytes = accel.tile_buffer_bytes()
+    # Tile buffers live in BRAM; count whole blocks like the device does.
+    used = blocks_for(tile_bytes, BRAM36_BYTES) * BRAM36_BYTES
+    return UMMResult(
+        graph_name=graph.name,
+        accel=accel,
+        latency=latency,
+        throughput=model.throughput(latency),
+        node_latencies=node_latencies,
+        sram_used_bytes=used,
+        sram_utilization=used / accel.device.sram_bytes,
+    )

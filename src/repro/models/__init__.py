@@ -1,0 +1,29 @@
+"""Model zoo: the DNNs used by the paper's evaluation.
+
+The benchmark suite of the paper (Sec. 4) is ResNet-152 (RN), GoogLeNet
+(GN) and Inception-v4 (IN); Table 3 additionally uses ResNet-50.  AlexNet
+and VGG-16 are included as the linear-topology baselines the introduction
+contrasts against.  All builders produce plain
+:class:`~repro.ir.graph.ComputationGraph` objects with block tags for the
+per-block experiments.
+"""
+
+from repro.models.zoo import MODEL_BUILDERS, get_model, list_models
+from repro.models.alexnet import build_alexnet
+from repro.models.vgg import build_vgg16
+from repro.models.googlenet import build_googlenet
+from repro.models.resnet import build_resnet, build_resnet50, build_resnet152
+from repro.models.inception_v4 import build_inception_v4
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "get_model",
+    "list_models",
+    "build_alexnet",
+    "build_vgg16",
+    "build_googlenet",
+    "build_resnet",
+    "build_resnet50",
+    "build_resnet152",
+    "build_inception_v4",
+]

@@ -1,0 +1,39 @@
+"""AlexNet — the linear-topology baseline of the paper's introduction.
+
+AlexNet (and VGG) are the "previous models" whose simple chain structure
+lets a traditional double-buffer allocation work; they exist in the zoo so
+examples and tests can contrast linear against non-linear topologies.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import FullyConnected, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import conv, max_pool
+
+
+def build_alexnet() -> ComputationGraph:
+    """Build the AlexNet inference graph (227x227x3 input, 1000 classes)."""
+    g = ComputationGraph(name="alexnet")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(3, 227, 227)))
+
+    g.begin_block("features")
+    x = conv(g, "conv1", "data", 96, 11, stride=4, padding="valid")
+    x = max_pool(g, "pool1", x)
+    x = conv(g, "conv2", x, 256, 5, padding=2)
+    x = max_pool(g, "pool2", x)
+    x = conv(g, "conv3", x, 384, 3)
+    x = conv(g, "conv4", x, 384, 3)
+    x = conv(g, "conv5", x, 256, 3)
+    x = max_pool(g, "pool5", x)
+    g.end_block()
+
+    g.begin_block("classifier")
+    g.add(FullyConnected(name="fc6", inputs=(x,), out_features=4096))
+    g.add(FullyConnected(name="fc7", inputs=("fc6",), out_features=4096))
+    g.add(FullyConnected(name="fc8", inputs=("fc7",), out_features=1000))
+    g.end_block()
+
+    g.validate()
+    return g

@@ -1,0 +1,113 @@
+"""Shared helpers for model builders.
+
+Builders describe networks layer by layer; these helpers cut the noise of
+padding arithmetic and name generation.  Batch-norm and activation are
+folded into the preceding convolution, as every FPGA inference accelerator
+in the paper's comparison set does.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import Conv2D, Pooling, PoolMode
+
+
+def same_padding(kernel: tuple[int, int]) -> tuple[int, int]:
+    """'Same' padding for odd kernels and stride 1: (Kh//2, Kw//2)."""
+    return (kernel[0] // 2, kernel[1] // 2)
+
+
+def conv(
+    graph: ComputationGraph,
+    name: str,
+    src: str,
+    out_channels: int,
+    kernel: tuple[int, int] | int,
+    stride: tuple[int, int] | int = 1,
+    padding: tuple[int, int] | int | str = "same",
+) -> str:
+    """Add a convolution and return its name.
+
+    Args:
+        graph: Graph under construction.
+        name: Node name.
+        src: Producer node name.
+        out_channels: Output channel count.
+        kernel: Filter size; an int means a square kernel.
+        stride: Stride; an int means the same stride on both axes.
+        padding: Explicit padding pair/int, ``"same"`` (half-kernel) or
+            ``"valid"`` (zero padding).
+    """
+    if isinstance(kernel, int):
+        kernel = (kernel, kernel)
+    if isinstance(stride, int):
+        stride = (stride, stride)
+    if padding == "same":
+        padding = same_padding(kernel)
+    elif padding == "valid":
+        padding = (0, 0)
+    elif isinstance(padding, int):
+        padding = (padding, padding)
+    graph.add(
+        Conv2D(
+            name=name,
+            inputs=(src,),
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+        )
+    )
+    return name
+
+
+def max_pool(
+    graph: ComputationGraph,
+    name: str,
+    src: str,
+    kernel: int = 3,
+    stride: int = 2,
+    padding: int = 0,
+) -> str:
+    """Add a max-pooling node and return its name."""
+    graph.add(
+        Pooling(
+            name=name,
+            inputs=(src,),
+            kernel=(kernel, kernel),
+            stride=(stride, stride),
+            padding=(padding, padding),
+            mode=PoolMode.MAX,
+        )
+    )
+    return name
+
+
+def avg_pool(
+    graph: ComputationGraph,
+    name: str,
+    src: str,
+    kernel: int = 3,
+    stride: int = 1,
+    padding: int = 1,
+) -> str:
+    """Add an average-pooling node and return its name."""
+    graph.add(
+        Pooling(
+            name=name,
+            inputs=(src,),
+            kernel=(kernel, kernel),
+            stride=(stride, stride),
+            padding=(padding, padding),
+            mode=PoolMode.AVG,
+        )
+    )
+    return name
+
+
+def global_avg_pool(graph: ComputationGraph, name: str, src: str) -> str:
+    """Add a global average-pooling node and return its name."""
+    graph.add(
+        Pooling(name=name, inputs=(src,), mode=PoolMode.AVG, global_pool=True)
+    )
+    return name

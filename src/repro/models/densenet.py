@@ -1,0 +1,86 @@
+"""DenseNet-121 — the liveness stress test from the paper's introduction.
+
+The introduction singles out the dense block of DenseNet [5] as a
+topology whose "complex data dependency between layers" breaks the
+traditional double-buffer allocation: every layer's output is consumed by
+*all* subsequent layers of its block (via channel concatenation), so
+feature lifetimes overlap heavily and the interference graph approaches a
+clique within each block.  That makes DenseNet the worst case for feature
+buffer sharing and a good robustness test for the allocator.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import Concat, FullyConnected, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import avg_pool, conv, global_avg_pool, max_pool
+
+#: Dense layers per block for DenseNet-121.
+_BLOCK_CONFIG = (6, 12, 24, 16)
+
+#: Channels added by each dense layer.
+GROWTH_RATE = 32
+
+#: Bottleneck width multiplier (the 1x1 produces 4k channels).
+_BOTTLENECK = 4
+
+
+def _dense_layer(g: ComputationGraph, name: str, src: str) -> str:
+    """One BN-ReLU-1x1 / BN-ReLU-3x3 dense layer; returns the 3x3 output."""
+    x = conv(g, f"{name}/1x1", src, _BOTTLENECK * GROWTH_RATE, 1)
+    return conv(g, f"{name}/3x3", x, GROWTH_RATE, 3)
+
+
+def _dense_block(g: ComputationGraph, name: str, src: str, layers: int) -> str:
+    """A dense block: each layer reads the concat of all previous outputs."""
+    g.begin_block(name)
+    features = [src]
+    for i in range(1, layers + 1):
+        if len(features) == 1:
+            inp = features[0]
+        else:
+            inp = f"{name}/concat{i - 1}"
+            g.add(Concat(name=inp, inputs=tuple(features)))
+        out = _dense_layer(g, f"{name}/layer{i}", inp)
+        features.append(out)
+    final = f"{name}/concat{layers}"
+    g.add(Concat(name=final, inputs=tuple(features)))
+    g.end_block()
+    return final
+
+
+def _transition(g: ComputationGraph, name: str, src: str, out_channels: int) -> str:
+    """Transition layer: 1x1 halving channels + 2x2 average pooling."""
+    g.begin_block(name)
+    x = conv(g, f"{name}/1x1", src, out_channels, 1)
+    x = avg_pool(g, f"{name}/pool", x, kernel=2, stride=2, padding=0)
+    g.end_block()
+    return x
+
+
+def build_densenet121() -> ComputationGraph:
+    """Build the DenseNet-121 inference graph (224x224x3, 1000 classes)."""
+    g = ComputationGraph(name="densenet121")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(3, 224, 224)))
+
+    g.begin_block("stem")
+    x = conv(g, "conv1", "data", 2 * GROWTH_RATE, 7, stride=2, padding=3)
+    x = max_pool(g, "pool1", x, kernel=3, stride=2, padding=1)
+    g.end_block()
+
+    channels = 2 * GROWTH_RATE
+    for idx, layers in enumerate(_BLOCK_CONFIG, start=1):
+        x = _dense_block(g, f"denseblock{idx}", x, layers)
+        channels += layers * GROWTH_RATE
+        if idx < len(_BLOCK_CONFIG):
+            channels //= 2
+            x = _transition(g, f"transition{idx}", x, channels)
+
+    g.begin_block("classifier")
+    x = global_avg_pool(g, "pool_final", x)
+    g.add(FullyConnected(name="fc1000", inputs=(x,), out_features=1000))
+    g.end_block()
+
+    g.validate()
+    return g

@@ -1,0 +1,88 @@
+"""GoogLeNet (Inception-v1) — benchmark "GN" in the paper.
+
+Nine inception blocks (3a, 3b, 4a-4e, 5a, 5b); Fig. 8 of the paper plots
+per-block performance for the 16-bit design, so each inception block is
+tagged via :meth:`ComputationGraph.begin_block`.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import Concat, FullyConnected, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import avg_pool, conv, global_avg_pool, max_pool
+
+#: Inception module configurations from the GoogLeNet paper (Table 1 of
+#: Szegedy et al. 2014): (name, #1x1, #3x3 reduce, #3x3, #5x5 reduce, #5x5,
+#: pool proj).
+_INCEPTION_CONFIGS = (
+    ("inception_3a", 64, 96, 128, 16, 32, 32),
+    ("inception_3b", 128, 128, 192, 32, 96, 64),
+    ("inception_4a", 192, 96, 208, 16, 48, 64),
+    ("inception_4b", 160, 112, 224, 24, 64, 64),
+    ("inception_4c", 128, 128, 256, 24, 64, 64),
+    ("inception_4d", 112, 144, 288, 32, 64, 64),
+    ("inception_4e", 256, 160, 320, 32, 128, 128),
+    ("inception_5a", 256, 160, 320, 32, 128, 128),
+    ("inception_5b", 384, 192, 384, 48, 128, 128),
+)
+
+#: Names of the nine inception blocks, in execution order.
+GOOGLENET_BLOCKS = tuple(cfg[0] for cfg in _INCEPTION_CONFIGS)
+
+
+def _inception_module(
+    g: ComputationGraph,
+    name: str,
+    src: str,
+    n1: int,
+    n3r: int,
+    n3: int,
+    n5r: int,
+    n5: int,
+    pool_proj: int,
+) -> str:
+    """Add one inception module and return the concat node name."""
+    g.begin_block(name)
+    b1 = conv(g, f"{name}/1x1", src, n1, 1)
+    b2 = conv(g, f"{name}/3x3_reduce", src, n3r, 1)
+    b2 = conv(g, f"{name}/3x3", b2, n3, 3)
+    b3 = conv(g, f"{name}/5x5_reduce", src, n5r, 1)
+    b3 = conv(g, f"{name}/5x5", b3, n5, 5)
+    b4 = max_pool(g, f"{name}/pool", src, kernel=3, stride=1, padding=1)
+    b4 = conv(g, f"{name}/pool_proj", b4, pool_proj, 1)
+    out = f"{name}/concat"
+    g.add(Concat(name=out, inputs=(b1, b2, b3, b4)))
+    g.end_block()
+    return out
+
+
+def build_googlenet() -> ComputationGraph:
+    """Build the GoogLeNet inference graph (224x224x3 input, 1000 classes)."""
+    g = ComputationGraph(name="googlenet")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(3, 224, 224)))
+
+    g.begin_block("stem")
+    x = conv(g, "conv1/7x7_s2", "data", 64, 7, stride=2, padding=3)
+    x = max_pool(g, "pool1/3x3_s2", x, kernel=3, stride=2, padding=1)
+    x = conv(g, "conv2/3x3_reduce", x, 64, 1)
+    x = conv(g, "conv2/3x3", x, 192, 3)
+    x = max_pool(g, "pool2/3x3_s2", x, kernel=3, stride=2, padding=1)
+    g.end_block()
+
+    for cfg in _INCEPTION_CONFIGS[:2]:
+        x = _inception_module(g, cfg[0], x, *cfg[1:])
+    x = max_pool(g, "pool3/3x3_s2", x, kernel=3, stride=2, padding=1)
+    for cfg in _INCEPTION_CONFIGS[2:7]:
+        x = _inception_module(g, cfg[0], x, *cfg[1:])
+    x = max_pool(g, "pool4/3x3_s2", x, kernel=3, stride=2, padding=1)
+    for cfg in _INCEPTION_CONFIGS[7:]:
+        x = _inception_module(g, cfg[0], x, *cfg[1:])
+
+    g.begin_block("classifier")
+    x = global_avg_pool(g, "pool5/global", x)
+    g.add(FullyConnected(name="loss3/classifier", inputs=(x,), out_features=1000))
+    g.end_block()
+
+    g.validate()
+    return g

@@ -1,0 +1,163 @@
+"""Inception-v4 — benchmark "IN" and the motivating example of the paper.
+
+Faithful to Szegedy et al. 2016: the stem, four Inception-A blocks,
+Reduction-A, seven Inception-B blocks, Reduction-B and three Inception-C
+blocks — the "14 inception blocks" whose on/off-chip choices span the
+2^14-point design space of Fig. 2(b).  Every block is tagged.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import Concat, FullyConnected, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import avg_pool, conv, global_avg_pool, max_pool
+
+#: The 14 choice blocks of Fig. 2(b), in execution order.
+INCEPTION_V4_BLOCKS = (
+    tuple(f"inception_a{i}" for i in range(1, 5))
+    + tuple(f"inception_b{i}" for i in range(1, 8))
+    + tuple(f"inception_c{i}" for i in range(1, 4))
+)
+
+
+def _stem(g: ComputationGraph) -> str:
+    """Add the Inception-v4 stem (299x299x3 -> 384x35x35)."""
+    g.begin_block("stem")
+    x = conv(g, "stem/conv1", "data", 32, 3, stride=2, padding="valid")
+    x = conv(g, "stem/conv2", x, 32, 3, padding="valid")
+    x = conv(g, "stem/conv3", x, 64, 3)
+
+    pool_a = max_pool(g, "stem/pool1", x, kernel=3, stride=2)
+    conv_a = conv(g, "stem/conv4", x, 96, 3, stride=2, padding="valid")
+    x = "stem/concat1"
+    g.add(Concat(name=x, inputs=(pool_a, conv_a)))
+
+    left = conv(g, "stem/b1_conv1", x, 64, 1)
+    left = conv(g, "stem/b1_conv2", left, 96, 3, padding="valid")
+    right = conv(g, "stem/b2_conv1", x, 64, 1)
+    right = conv(g, "stem/b2_conv2", right, 64, (7, 1), padding=(3, 0))
+    right = conv(g, "stem/b2_conv3", right, 64, (1, 7), padding=(0, 3))
+    right = conv(g, "stem/b2_conv4", right, 96, 3, padding="valid")
+    x = "stem/concat2"
+    g.add(Concat(name=x, inputs=(left, right)))
+
+    conv_b = conv(g, "stem/conv5", x, 192, 3, stride=2, padding="valid")
+    pool_b = max_pool(g, "stem/pool2", x, kernel=3, stride=2)
+    x = "stem/concat3"
+    g.add(Concat(name=x, inputs=(conv_b, pool_b)))
+    g.end_block()
+    return x
+
+
+def _inception_a(g: ComputationGraph, name: str, src: str) -> str:
+    """Add an Inception-A block (384ch, 35x35 -> 384ch)."""
+    g.begin_block(name)
+    b1 = conv(g, f"{name}/b1_1x1", src, 96, 1)
+    b2 = conv(g, f"{name}/b2_1x1", src, 64, 1)
+    b2 = conv(g, f"{name}/b2_3x3", b2, 96, 3)
+    b3 = conv(g, f"{name}/b3_1x1", src, 64, 1)
+    b3 = conv(g, f"{name}/b3_3x3a", b3, 96, 3)
+    b3 = conv(g, f"{name}/b3_3x3b", b3, 96, 3)
+    b4 = avg_pool(g, f"{name}/pool", src)
+    b4 = conv(g, f"{name}/b4_1x1", b4, 96, 1)
+    out = f"{name}/concat"
+    g.add(Concat(name=out, inputs=(b1, b2, b3, b4)))
+    g.end_block()
+    return out
+
+
+def _reduction_a(g: ComputationGraph, src: str) -> str:
+    """Add Reduction-A (384ch 35x35 -> 1024ch 17x17)."""
+    name = "reduction_a"
+    g.begin_block(name)
+    b1 = max_pool(g, f"{name}/pool", src, kernel=3, stride=2)
+    b2 = conv(g, f"{name}/b2_3x3", src, 384, 3, stride=2, padding="valid")
+    b3 = conv(g, f"{name}/b3_1x1", src, 192, 1)
+    b3 = conv(g, f"{name}/b3_3x3a", b3, 224, 3)
+    b3 = conv(g, f"{name}/b3_3x3b", b3, 256, 3, stride=2, padding="valid")
+    out = f"{name}/concat"
+    g.add(Concat(name=out, inputs=(b1, b2, b3)))
+    g.end_block()
+    return out
+
+
+def _inception_b(g: ComputationGraph, name: str, src: str) -> str:
+    """Add an Inception-B block (1024ch, 17x17 -> 1024ch)."""
+    g.begin_block(name)
+    b1 = conv(g, f"{name}/b1_1x1", src, 384, 1)
+    b2 = conv(g, f"{name}/b2_1x1", src, 192, 1)
+    b2 = conv(g, f"{name}/b2_1x7", b2, 224, (1, 7), padding=(0, 3))
+    b2 = conv(g, f"{name}/b2_7x1", b2, 256, (7, 1), padding=(3, 0))
+    b3 = conv(g, f"{name}/b3_1x1", src, 192, 1)
+    b3 = conv(g, f"{name}/b3_7x1a", b3, 192, (7, 1), padding=(3, 0))
+    b3 = conv(g, f"{name}/b3_1x7a", b3, 224, (1, 7), padding=(0, 3))
+    b3 = conv(g, f"{name}/b3_7x1b", b3, 224, (7, 1), padding=(3, 0))
+    b3 = conv(g, f"{name}/b3_1x7b", b3, 256, (1, 7), padding=(0, 3))
+    b4 = avg_pool(g, f"{name}/pool", src)
+    b4 = conv(g, f"{name}/b4_1x1", b4, 128, 1)
+    out = f"{name}/concat"
+    g.add(Concat(name=out, inputs=(b1, b2, b3, b4)))
+    g.end_block()
+    return out
+
+
+def _reduction_b(g: ComputationGraph, src: str) -> str:
+    """Add Reduction-B (1024ch 17x17 -> 1536ch 8x8)."""
+    name = "reduction_b"
+    g.begin_block(name)
+    b1 = max_pool(g, f"{name}/pool", src, kernel=3, stride=2)
+    b2 = conv(g, f"{name}/b2_1x1", src, 192, 1)
+    b2 = conv(g, f"{name}/b2_3x3", b2, 192, 3, stride=2, padding="valid")
+    b3 = conv(g, f"{name}/b3_1x1", src, 256, 1)
+    b3 = conv(g, f"{name}/b3_1x7", b3, 256, (1, 7), padding=(0, 3))
+    b3 = conv(g, f"{name}/b3_7x1", b3, 320, (7, 1), padding=(3, 0))
+    b3 = conv(g, f"{name}/b3_3x3", b3, 320, 3, stride=2, padding="valid")
+    out = f"{name}/concat"
+    g.add(Concat(name=out, inputs=(b1, b2, b3)))
+    g.end_block()
+    return out
+
+
+def _inception_c(g: ComputationGraph, name: str, src: str) -> str:
+    """Add an Inception-C block (1536ch, 8x8 -> 1536ch)."""
+    g.begin_block(name)
+    b1 = conv(g, f"{name}/b1_1x1", src, 256, 1)
+    b2 = conv(g, f"{name}/b2_1x1", src, 384, 1)
+    b2a = conv(g, f"{name}/b2_1x3", b2, 256, (1, 3), padding=(0, 1))
+    b2b = conv(g, f"{name}/b2_3x1", b2, 256, (3, 1), padding=(1, 0))
+    b3 = conv(g, f"{name}/b3_1x1", src, 384, 1)
+    b3 = conv(g, f"{name}/b3_3x1", b3, 448, (3, 1), padding=(1, 0))
+    b3 = conv(g, f"{name}/b3_1x3", b3, 512, (1, 3), padding=(0, 1))
+    b3a = conv(g, f"{name}/b3_1x3b", b3, 256, (1, 3), padding=(0, 1))
+    b3b = conv(g, f"{name}/b3_3x1b", b3, 256, (3, 1), padding=(1, 0))
+    b4 = avg_pool(g, f"{name}/pool", src)
+    b4 = conv(g, f"{name}/b4_1x1", b4, 256, 1)
+    out = f"{name}/concat"
+    g.add(Concat(name=out, inputs=(b1, b2a, b2b, b3a, b3b, b4)))
+    g.end_block()
+    return out
+
+
+def build_inception_v4() -> ComputationGraph:
+    """Build the Inception-v4 inference graph (299x299x3, 1000 classes)."""
+    g = ComputationGraph(name="inception_v4")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(3, 299, 299)))
+
+    x = _stem(g)
+    for i in range(1, 5):
+        x = _inception_a(g, f"inception_a{i}", x)
+    x = _reduction_a(g, x)
+    for i in range(1, 8):
+        x = _inception_b(g, f"inception_b{i}", x)
+    x = _reduction_b(g, x)
+    for i in range(1, 4):
+        x = _inception_c(g, f"inception_c{i}", x)
+
+    g.begin_block("classifier")
+    x = global_avg_pool(g, "pool_final", x)
+    g.add(FullyConnected(name="fc1000", inputs=(x,), out_features=1000))
+    g.end_block()
+
+    g.validate()
+    return g

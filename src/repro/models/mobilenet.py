@@ -1,0 +1,72 @@
+"""MobileNetV1 — the low-operation-intensity stress case (extension).
+
+Depthwise-separable convolutions have almost no data reuse: a depthwise
+3x3 performs nine MACs per input element.  On a channel-parallel FPGA
+accelerator nearly every depthwise layer is memory bound, which makes
+MobileNet the opposite extreme from VGG on the roofline and a good probe
+of how much LCMM can recover when *most* of a network starves on DDR.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import DepthwiseConv2D, FullyConnected, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import conv, global_avg_pool
+
+#: (pointwise output channels, depthwise stride) per separable block.
+_MOBILENET_BLOCKS = (
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+)
+
+
+def _separable_block(
+    g: ComputationGraph, name: str, src: str, out_channels: int, stride: int
+) -> str:
+    """Depthwise 3x3 followed by pointwise 1x1."""
+    dw = f"{name}/dw"
+    g.add(
+        DepthwiseConv2D(
+            name=dw,
+            inputs=(src,),
+            kernel=(3, 3),
+            stride=(stride, stride),
+            padding=(1, 1),
+        )
+    )
+    return conv(g, f"{name}/pw", dw, out_channels, 1)
+
+
+def build_mobilenet_v1() -> ComputationGraph:
+    """Build the MobileNetV1 inference graph (224x224x3, 1000 classes)."""
+    g = ComputationGraph(name="mobilenet_v1")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(3, 224, 224)))
+
+    g.begin_block("stem")
+    x = conv(g, "conv1", "data", 32, 3, stride=2)
+    g.end_block()
+
+    for idx, (channels, stride) in enumerate(_MOBILENET_BLOCKS, start=1):
+        g.begin_block(f"block{idx}")
+        x = _separable_block(g, f"block{idx}", x, channels, stride)
+        g.end_block()
+
+    g.begin_block("classifier")
+    x = global_avg_pool(g, "pool", x)
+    g.add(FullyConnected(name="fc1000", inputs=(x,), out_features=1000))
+    g.end_block()
+
+    g.validate()
+    return g

@@ -1,0 +1,114 @@
+"""ResNet family — benchmarks "RN" (ResNet-152) and ResNet-50 (Table 3).
+
+Bottleneck residual blocks with identity/projection shortcuts joined by
+element-wise addition.  The paper notes ResNet's simpler topology needs
+fewer feature buffers than the inception networks (Sec. 4.1), which is why
+its LCMM speedup is the largest — a property the reproduction must show.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import EltwiseAdd, FullyConnected, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import conv, global_avg_pool, max_pool
+
+#: Bottleneck counts per stage for the supported depths.
+_STAGE_DEPTHS = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+
+#: Bottleneck mid-channel width per stage; output width is 4x this.
+_STAGE_PLANES = (64, 128, 256, 512)
+
+#: The bottleneck expansion factor.
+_EXPANSION = 4
+
+
+def _bottleneck(
+    g: ComputationGraph,
+    name: str,
+    src: str,
+    planes: int,
+    stride: int,
+    project: bool,
+) -> str:
+    """Add one bottleneck residual block and return the add node name.
+
+    Args:
+        g: Graph under construction.
+        name: Block name prefix.
+        src: Input node.
+        planes: Mid 3x3 channel count; output is ``4 * planes``.
+        stride: Stride of the 3x3 (and the projection shortcut).
+        project: Whether the shortcut needs a 1x1 projection convolution.
+    """
+    out_channels = planes * _EXPANSION
+    x = conv(g, f"{name}/conv1", src, planes, 1)
+    x = conv(g, f"{name}/conv2", x, planes, 3, stride=stride)
+    x = conv(g, f"{name}/conv3", x, out_channels, 1)
+    if project:
+        shortcut = conv(g, f"{name}/proj", src, out_channels, 1, stride=stride)
+    else:
+        shortcut = src
+    out = f"{name}/add"
+    g.add(EltwiseAdd(name=out, inputs=(x, shortcut)))
+    return out
+
+
+def build_resnet(depth: int) -> ComputationGraph:
+    """Build a ResNet inference graph (224x224x3 input, 1000 classes).
+
+    Args:
+        depth: One of 50, 101 or 152.
+
+    Raises:
+        ValueError: For unsupported depths.
+    """
+    if depth not in _STAGE_DEPTHS:
+        raise ValueError(f"unsupported ResNet depth {depth}; choose from {sorted(_STAGE_DEPTHS)}")
+    stage_depths = _STAGE_DEPTHS[depth]
+
+    g = ComputationGraph(name=f"resnet{depth}")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(3, 224, 224)))
+
+    g.begin_block("stem")
+    x = conv(g, "conv1", "data", 64, 7, stride=2, padding=3)
+    x = max_pool(g, "pool1", x, kernel=3, stride=2, padding=1)
+    g.end_block()
+
+    for stage_idx, (blocks, planes) in enumerate(zip(stage_depths, _STAGE_PLANES), start=2):
+        for block_idx in range(1, blocks + 1):
+            block_name = f"res{stage_idx}_{block_idx}"
+            # Stage 2 keeps stride 1 (the pool already downsampled); later
+            # stages downsample in their first block.
+            stride = 2 if (stage_idx > 2 and block_idx == 1) else 1
+            project = block_idx == 1
+            g.begin_block(block_name)
+            x = _bottleneck(g, block_name, x, planes, stride, project)
+            g.end_block()
+
+    g.begin_block("classifier")
+    x = global_avg_pool(g, "pool5", x)
+    g.add(FullyConnected(name="fc1000", inputs=(x,), out_features=1000))
+    g.end_block()
+
+    g.validate()
+    return g
+
+
+def build_resnet50() -> ComputationGraph:
+    """Build ResNet-50 (used in Table 3 against Cloud-DNN)."""
+    return build_resnet(50)
+
+
+def build_resnet101() -> ComputationGraph:
+    """Build ResNet-101 (the intermediate depth)."""
+    return build_resnet(101)
+
+
+def build_resnet152() -> ComputationGraph:
+    """Build ResNet-152 (benchmark "RN")."""
+    return build_resnet(152)

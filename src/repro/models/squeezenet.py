@@ -1,0 +1,64 @@
+"""SqueezeNet 1.0 — small-model branching variety (extension).
+
+Fire modules (a 1x1 squeeze feeding parallel 1x1 and 3x3 expands joined
+by concat) give yet another interference pattern: a two-way fan-out whose
+branches are single layers, so the squeeze output is live across exactly
+two steps.  With only ~1.2 M parameters the whole network's weights fit
+on chip at any precision — the opposite capacity regime from VGG.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import Concat, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import conv, global_avg_pool, max_pool
+
+#: (squeeze, expand1x1, expand3x3) per fire module, SqueezeNet 1.0.
+_FIRE_CONFIGS = (
+    ("fire2", 16, 64, 64),
+    ("fire3", 16, 64, 64),
+    ("fire4", 32, 128, 128),
+    ("fire5", 32, 128, 128),
+    ("fire6", 48, 192, 192),
+    ("fire7", 48, 192, 192),
+    ("fire8", 64, 256, 256),
+    ("fire9", 64, 256, 256),
+)
+
+
+def _fire(g: ComputationGraph, name: str, src: str, s1: int, e1: int, e3: int) -> str:
+    """Add one fire module and return the concat node name."""
+    g.begin_block(name)
+    squeeze = conv(g, f"{name}/squeeze1x1", src, s1, 1)
+    left = conv(g, f"{name}/expand1x1", squeeze, e1, 1)
+    right = conv(g, f"{name}/expand3x3", squeeze, e3, 3)
+    out = f"{name}/concat"
+    g.add(Concat(name=out, inputs=(left, right)))
+    g.end_block()
+    return out
+
+
+def build_squeezenet() -> ComputationGraph:
+    """Build the SqueezeNet 1.0 inference graph (224x224x3, 1000 classes)."""
+    g = ComputationGraph(name="squeezenet")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(3, 224, 224)))
+
+    g.begin_block("stem")
+    x = conv(g, "conv1", "data", 96, 7, stride=2, padding="valid")
+    x = max_pool(g, "pool1", x, kernel=3, stride=2)
+    g.end_block()
+
+    for idx, (name, s1, e1, e3) in enumerate(_FIRE_CONFIGS):
+        x = _fire(g, name, x, s1, e1, e3)
+        if name in ("fire4", "fire8"):
+            x = max_pool(g, f"pool_{name}", x, kernel=3, stride=2)
+
+    g.begin_block("classifier")
+    # SqueezeNet classifies with a conv, not an FC.
+    x = conv(g, "conv10", x, 1000, 1)
+    x = global_avg_pool(g, "pool10", x)
+    g.end_block()
+
+    g.validate()
+    return g

@@ -1,0 +1,40 @@
+"""VGG-16 — the second linear-topology baseline from the introduction."""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import FullyConnected, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import conv, max_pool
+
+#: VGG-16 configuration: (block name, conv count, channels).
+_VGG16_STAGES = (
+    ("stage1", 2, 64),
+    ("stage2", 2, 128),
+    ("stage3", 3, 256),
+    ("stage4", 3, 512),
+    ("stage5", 3, 512),
+)
+
+
+def build_vgg16() -> ComputationGraph:
+    """Build the VGG-16 inference graph (224x224x3 input, 1000 classes)."""
+    g = ComputationGraph(name="vgg16")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(3, 224, 224)))
+
+    x = "data"
+    for block_name, conv_count, channels in _VGG16_STAGES:
+        g.begin_block(block_name)
+        for idx in range(1, conv_count + 1):
+            x = conv(g, f"{block_name}_conv{idx}", x, channels, 3)
+        x = max_pool(g, f"{block_name}_pool", x, kernel=2, stride=2)
+        g.end_block()
+
+    g.begin_block("classifier")
+    g.add(FullyConnected(name="fc6", inputs=(x,), out_features=4096))
+    g.add(FullyConnected(name="fc7", inputs=("fc6",), out_features=4096))
+    g.add(FullyConnected(name="fc8", inputs=("fc7",), out_features=1000))
+    g.end_block()
+
+    g.validate()
+    return g

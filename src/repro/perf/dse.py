@@ -1,0 +1,122 @@
+"""Design-space exploration over tile configurations.
+
+The paper plugs LCMM into an external DSE framework ([12, 18, 22]) that
+fixes the PE array and tile buffer structure; LCMM then manages whatever
+on-chip memory the tile buffers do not use (Fig. 4).  This module is that
+producer: given a model, a precision and a tile-buffer byte budget, it
+enumerates tile shapes, scores each by end-to-end UMM latency under the
+analytical model, and returns the Pareto-best design point.
+
+Tile sizes trade buffer footprint against reload traffic: larger ``tm``
+cuts input re-streaming (``ceil(M/tm)`` passes), larger ``th x tw`` cuts
+weight re-streaming — but both inflate the tile buffers that compete with
+LCMM's tensor buffers for SRAM.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.ir.graph import ComputationGraph
+from repro.perf.latency import LatencyModel
+from repro.perf.systolic import AcceleratorConfig, SystolicArray
+from repro.perf.tiling import TileConfig
+
+#: Candidate tile extents; powers of two for channels (all benchmark models
+#: use channel counts divisible by 32) and the common feature-map extents
+#: for the spatial dims.
+_TM_CANDIDATES = (16, 32, 64, 128)
+_TN_CANDIDATES = (16, 32, 64)
+_SPATIAL_CANDIDATES = (7, 14, 28, 56)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored design with its predicted performance.
+
+    Attributes:
+        accel: The accelerator configuration.
+        umm_latency: End-to-end latency with uniform memory management.
+        tile_buffer_bytes: On-chip footprint of the double-buffered tile
+            buffers.
+    """
+
+    accel: AcceleratorConfig
+    umm_latency: float
+    tile_buffer_bytes: int
+
+    @property
+    def throughput(self) -> float:
+        """Ops/second under UMM (for ranking)."""
+        return 1.0 / self.umm_latency
+
+
+def candidate_tiles(
+    tm_values: tuple[int, ...] = _TM_CANDIDATES,
+    tn_values: tuple[int, ...] = _TN_CANDIDATES,
+    spatial_values: tuple[int, ...] = _SPATIAL_CANDIDATES,
+) -> list[TileConfig]:
+    """The tile configurations the explorer enumerates."""
+    return [
+        TileConfig(tm=tm, tn=tn, th=sp, tw=sp)
+        for tm, tn, sp in itertools.product(tm_values, tn_values, spatial_values)
+    ]
+
+
+def explore_designs(
+    graph: ComputationGraph,
+    base: AcceleratorConfig,
+    tile_buffer_budget: int,
+    tiles: list[TileConfig] | None = None,
+) -> list[DesignPoint]:
+    """Score every feasible tile configuration on a model.
+
+    Args:
+        graph: The DNN to optimise for.
+        base: Design point providing array/clock/precision/memory system;
+            only the tile configuration is varied.
+        tile_buffer_budget: Maximum bytes the double-buffered tile buffers
+            may occupy (the rest of SRAM is left to LCMM's tensor buffers).
+        tiles: Optional explicit candidate list.
+
+    Returns:
+        Feasible design points sorted by ascending UMM latency.
+    """
+    if tile_buffer_budget <= 0:
+        raise ValueError("tile_buffer_budget must be positive")
+    points = []
+    for tile in tiles if tiles is not None else candidate_tiles():
+        footprint = tile.tile_buffer_bytes(base.precision.bytes)
+        if footprint > tile_buffer_budget:
+            continue
+        accel = AcceleratorConfig(
+            name=base.name,
+            precision=base.precision,
+            array=base.array,
+            tile=tile,
+            frequency=base.frequency,
+            device=base.device,
+            ddr=base.ddr,
+            ddr_efficiency=base.ddr_efficiency,
+            if_resident_cap=base.if_resident_cap,
+            wt_resident_cap=base.wt_resident_cap,
+        )
+        latency = LatencyModel(graph, accel).umm_latency()
+        points.append(DesignPoint(accel=accel, umm_latency=latency, tile_buffer_bytes=footprint))
+    if not points:
+        raise ValueError(
+            f"no tile configuration fits a {tile_buffer_budget}-byte budget"
+        )
+    points.sort(key=lambda p: p.umm_latency)
+    return points
+
+
+def best_design(
+    graph: ComputationGraph,
+    base: AcceleratorConfig,
+    tile_buffer_budget: int,
+    tiles: list[TileConfig] | None = None,
+) -> AcceleratorConfig:
+    """The lowest-UMM-latency feasible design (convenience wrapper)."""
+    return explore_designs(graph, base, tile_buffer_budget, tiles)[0].accel

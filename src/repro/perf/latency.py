@@ -1,0 +1,400 @@
+"""Per-layer latency model — the quantity Eq. 1 of the paper combines.
+
+For each node ``i`` the accelerator executes, the model produces
+
+* ``lat_c(i)`` — compute latency on the systolic array, and
+* one *slot* per off-chip tensor stream of the node: its total transferred
+  bytes (tile reloads included) and the resulting transfer latency on its
+  memory interface.
+
+The node latency under a given on-chip allocation is then
+
+    ``lat(i) = max(lat_c(i), sum of off-chip if-slot latencies,
+                   wt-slot latency, of-slot latency)``
+
+because double buffering overlaps compute with transfer (Sec. 3.3) and the
+three tensor kinds use three independent DDR interfaces, while multiple
+input features of one node share the single "if" interface and therefore
+serialise.
+
+Note on Eq. 1's ``x_d(i)``: the paper states ``x_d(i) = 1`` means on-chip
+yet multiplies it *into* the latency term; taken literally an on-chip
+tensor would add transfer latency.  We implement the evident intent —
+on-chip tensors stop paying off-chip transfer (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import Conv2D, DepthwiseConv2D, FullyConnected, Layer, OpType, Pooling
+from repro.ir.tensor import TensorKind, feature_tensor_name, weight_tensor_name
+from repro.perf.systolic import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One off-chip tensor stream of one node.
+
+    Attributes:
+        node: Node name.
+        kind: Tensor kind (if / wt / of).
+        tensor: Name of the tensor value carried — ``f:<producer>`` for
+            features, ``w:<node>`` for weights.  Putting this value
+            on-chip removes the slot's transfer latency from the node.
+        bytes: Total bytes transferred for this slot in one inference,
+            tile reloads included.
+        latency: Transfer latency in seconds on the slot's interface.
+    """
+
+    node: str
+    kind: TensorKind
+    tensor: str
+    bytes: int
+    latency: float
+
+
+@dataclass
+class LayerLatency:
+    """Latency decomposition of one node.
+
+    Attributes:
+        node: Node name.
+        compute: Compute latency ``lat_c(i)`` in seconds.
+        slots: Transfer slots, in (if..., wt, of) order.
+        macs: Nominal multiply-accumulate count of the node.
+    """
+
+    node: str
+    compute: float
+    slots: list[Slot]
+    macs: int
+
+    def slot_latency(
+        self,
+        kind: TensorKind,
+        onchip: frozenset[str] = frozenset(),
+        residuals: dict[str, float] | None = None,
+        fractions: dict[str, float] | None = None,
+    ) -> float:
+        """Summed latency of this node's slots of one kind.
+
+        Off-chip slots contribute their full transfer latency; on-chip
+        slots contribute their *residual* (the unhidden part of a weight
+        prefetch), defaulting to zero.  A tensor pinned *fractionally*
+        (``fractions[name] = f``) keeps ``1 - f`` of its transfer — the
+        resident channels stop streaming, the rest still do.
+        """
+        total = 0.0
+        for s in self.slots:
+            if s.kind is not kind:
+                continue
+            if s.tensor in onchip:
+                if residuals:
+                    total += residuals.get(s.tensor, 0.0)
+            elif fractions and s.tensor in fractions:
+                total += s.latency * (1.0 - fractions[s.tensor])
+            else:
+                total += s.latency
+        return total
+
+    def latency(
+        self,
+        onchip: frozenset[str] = frozenset(),
+        residuals: dict[str, float] | None = None,
+        fractions: dict[str, float] | None = None,
+    ) -> float:
+        """Effective node latency under an on-chip allocation (Eq. 1)."""
+        return max(
+            self.compute,
+            self.slot_latency(TensorKind.IFMAP, onchip, residuals, fractions),
+            self.slot_latency(TensorKind.WEIGHT, onchip, residuals, fractions),
+            self.slot_latency(TensorKind.OFMAP, onchip, residuals, fractions),
+        )
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Bytes moved over all interfaces with everything off-chip."""
+        return sum(s.bytes for s in self.slots)
+
+    @property
+    def worst_transfer(self) -> float:
+        """Largest per-interface transfer latency with everything off-chip."""
+        kinds = (TensorKind.IFMAP, TensorKind.WEIGHT, TensorKind.OFMAP)
+        return max(self.slot_latency(k) for k in kinds)
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Whether off-chip transfer, not compute, limits this node."""
+        return self.worst_transfer > self.compute
+
+
+class LatencyModel:
+    """Latency model of one (graph, accelerator design) pair.
+
+    Precomputes the latency decomposition of every executed node once;
+    allocation-dependent queries are then cheap, which matters because the
+    DNNK dynamic program evaluates marginal gains in its inner loop.
+
+    Args:
+        graph: The DNN computation graph.
+        accel: The accelerator design point.
+    """
+
+    def __init__(self, graph: ComputationGraph, accel: AcceleratorConfig) -> None:
+        self.graph = graph
+        self.accel = accel
+        self._layers: dict[str, LayerLatency] = {}
+        for name in graph.compute_schedule():
+            self._layers[name] = self._characterize(name)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _transfer_latency(self, kind: TensorKind, num_bytes: int) -> float:
+        """Seconds to move ``num_bytes`` over the ``kind`` interface."""
+        if num_bytes == 0:
+            return 0.0
+        bandwidth = self.accel.interface_bandwidth(kind.value)
+        return num_bytes / bandwidth
+
+    def _characterize(self, name: str) -> LayerLatency:
+        layer = self.graph.layer(name)
+        if isinstance(layer, DepthwiseConv2D):
+            return self._characterize_depthwise(name, layer)
+        if isinstance(layer, Conv2D):
+            return self._characterize_conv(name, layer)
+        if isinstance(layer, FullyConnected):
+            return self._characterize_fc(name, layer)
+        if isinstance(layer, Pooling):
+            return self._characterize_pool(name, layer)
+        if layer.op_type is OpType.ELTWISE:
+            return self._characterize_eltwise(name, layer)
+        raise ValueError(f"cannot characterise op type {layer.op_type} of {name!r}")
+
+    def _input_slots(self, name: str, reloads: int = 1) -> list[Slot]:
+        """One if-slot per feature value the node reads, with reloads."""
+        elem = self.accel.precision.bytes
+        slots = []
+        for src in self.graph.feature_sources(name):
+            num_bytes = self.graph.output_shape(src).volume * elem * reloads
+            slots.append(
+                Slot(
+                    node=name,
+                    kind=TensorKind.IFMAP,
+                    tensor=feature_tensor_name(src),
+                    bytes=num_bytes,
+                    latency=self._transfer_latency(TensorKind.IFMAP, num_bytes),
+                )
+            )
+        return slots
+
+    def _output_slot(self, name: str) -> Slot:
+        elem = self.accel.precision.bytes
+        num_bytes = self.graph.output_shape(name).volume * elem
+        return Slot(
+            node=name,
+            kind=TensorKind.OFMAP,
+            tensor=feature_tensor_name(name),
+            bytes=num_bytes,
+            latency=self._transfer_latency(TensorKind.OFMAP, num_bytes),
+        )
+
+    def _weight_slot(self, name: str, layer: Layer, reloads: int) -> Slot:
+        elem = self.accel.precision.bytes
+        shape = layer.weight_shape
+        assert shape is not None
+        num_bytes = shape.volume * elem * reloads
+        return Slot(
+            node=name,
+            kind=TensorKind.WEIGHT,
+            tensor=weight_tensor_name(name),
+            bytes=num_bytes,
+            latency=self._transfer_latency(TensorKind.WEIGHT, num_bytes),
+        )
+
+    def _conv_reloads(self, name: str, layer: Conv2D) -> tuple[int, int]:
+        """Per-layer schedule selection: (ifmap reloads, weight reloads).
+
+        The default loop order streams the input once per output-channel
+        tile and the weights once per spatial tile (Fig. 1's dataflow).
+        When the design provides residency buffers and the layer's
+        input-channel working set (or full weight tensor slice) fits, the
+        per-layer schedule chosen by the DSE keeps it resident and the
+        corresponding reload factor drops to one.
+        """
+        out = self.graph.output_shape(name)
+        tile = self.accel.tile
+        elem = self.accel.precision.bytes
+        n_tm = tile.output_channel_trips(out.channels)
+        n_sp = tile.spatial_trips(out.height, out.width)
+
+        # Input residency: all input channels of one spatial tile (halo
+        # included) stay on chip across the output-channel loop.
+        if n_tm > 1 and self.accel.if_resident_cap > 0:
+            in_h = tile.th * layer.stride[0] + layer.kernel[0] - layer.stride[0]
+            in_w = tile.tw * layer.stride[1] + layer.kernel[1] - layer.stride[1]
+            if_working_set = layer.in_channels * in_h * in_w * elem
+            if if_working_set <= self.accel.if_resident_cap:
+                n_tm = 1
+
+        # Weight residency: one output-channel tile's weights over all
+        # input channels stay on chip across the spatial loop.
+        if n_sp > 1 and self.accel.wt_resident_cap > 0:
+            wt_working_set = (
+                tile.tm * layer.in_channels * layer.kernel[0] * layer.kernel[1] * elem
+            )
+            if wt_working_set <= self.accel.wt_resident_cap:
+                n_sp = 1
+        return n_tm, n_sp
+
+    def _characterize_conv(self, name: str, layer: Conv2D) -> LayerLatency:
+        out = self.graph.output_shape(name)
+        macs = layer.macs(self.graph.input_shapes(name))
+        array = self.accel.array
+
+        n_tm, n_sp = self._conv_reloads(name, layer)
+
+        effective_macs = array.effective_macs(out.channels, layer.in_channels)
+        compute = macs / (effective_macs * self.accel.frequency)
+
+        slots = self._input_slots(name, reloads=n_tm)
+        slots.append(self._weight_slot(name, layer, reloads=n_sp))
+        slots.append(self._output_slot(name))
+        return LayerLatency(node=name, compute=compute, slots=slots, macs=macs)
+
+    def _characterize_depthwise(self, name: str, layer: DepthwiseConv2D) -> LayerLatency:
+        """Depthwise convolution: no input-channel reduction.
+
+        The SIMD lanes of the PE array reduce over input channels, which a
+        depthwise layer does not have, so only the rows x cols lanes do
+        useful work — the characteristic inefficiency of depthwise layers
+        on channel-parallel accelerators.  Each input channel feeds
+        exactly its own output channel, so the input streams once
+        (no output-channel reload factor).
+        """
+        out = self.graph.output_shape(name)
+        macs = layer.macs(self.graph.input_shapes(name))
+        array = self.accel.array
+        channel_eff = out.channels / (
+            math.ceil(out.channels / array.rows) * array.rows
+        )
+        effective = array.rows * array.cols * channel_eff
+        compute = macs / (effective * self.accel.frequency)
+
+        n_sp = self.accel.tile.spatial_trips(out.height, out.width)
+        slots = self._input_slots(name, reloads=1)
+        slots.append(self._weight_slot(name, layer, reloads=n_sp))
+        slots.append(self._output_slot(name))
+        return LayerLatency(node=name, compute=compute, slots=slots, macs=macs)
+
+    def _characterize_fc(self, name: str, layer: FullyConnected) -> LayerLatency:
+        macs = layer.macs(self.graph.input_shapes(name))
+        array = self.accel.array
+        effective_macs = array.effective_macs(layer.out_features, layer.in_features)
+        compute = macs / (effective_macs * self.accel.frequency)
+        slots = self._input_slots(name, reloads=1)
+        slots.append(self._weight_slot(name, layer, reloads=1))
+        slots.append(self._output_slot(name))
+        return LayerLatency(node=name, compute=compute, slots=slots, macs=macs)
+
+    def _characterize_pool(self, name: str, layer: Pooling) -> LayerLatency:
+        out = self.graph.output_shape(name)
+        # One comparison/add per kernel element per output — executed on the
+        # array's vector lanes, so the rate matches the MAC rate.
+        if layer.global_pool:
+            (inp,) = self.graph.input_shapes(name)
+            ops = inp.volume
+        else:
+            ops = out.volume * layer.kernel[0] * layer.kernel[1]
+        compute = ops / (self.accel.array.macs * self.accel.frequency)
+        slots = self._input_slots(name)
+        slots.append(self._output_slot(name))
+        return LayerLatency(node=name, compute=compute, slots=slots, macs=0)
+
+    def _characterize_eltwise(self, name: str, layer: Layer) -> LayerLatency:
+        out = self.graph.output_shape(name)
+        compute = out.volume / (self.accel.array.macs * self.accel.frequency)
+        slots = self._input_slots(name)
+        slots.append(self._output_slot(name))
+        return LayerLatency(node=name, compute=compute, slots=slots, macs=0)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[str]:
+        """Executed nodes in schedule order."""
+        return list(self._layers)
+
+    def layer(self, name: str) -> LayerLatency:
+        """Latency decomposition of one node."""
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise KeyError(f"node {name!r} is not an executed layer") from None
+
+    def slots(self) -> Iterable[Slot]:
+        """All transfer slots of all nodes, in schedule order."""
+        for ll in self._layers.values():
+            yield from ll.slots
+
+    def node_latency(
+        self,
+        name: str,
+        onchip: frozenset[str] = frozenset(),
+        residuals: dict[str, float] | None = None,
+        fractions: dict[str, float] | None = None,
+    ) -> float:
+        """Effective latency of one node under an allocation (Eq. 1)."""
+        return self.layer(name).latency(onchip, residuals, fractions)
+
+    def total_latency(
+        self,
+        onchip: frozenset[str] = frozenset(),
+        residuals: dict[str, float] | None = None,
+        fractions: dict[str, float] | None = None,
+    ) -> float:
+        """End-to-end inference latency under an allocation.
+
+        The schedule is sequential — the accelerator executes one node at a
+        time, overlapping each node's transfers with its own compute via
+        double buffering (Fig. 1 of the paper).
+
+        Args:
+            onchip: Tensor values fully resident on chip.
+            residuals: Unhidden prefetch time per on-chip weight tensor.
+            fractions: Partial residency per tensor (0, 1): the resident
+                share stops streaming, the remainder still pays transfer.
+        """
+        return sum(
+            ll.latency(onchip, residuals, fractions) for ll in self._layers.values()
+        )
+
+    def umm_latency(self) -> float:
+        """Latency with everything off-chip (the UMM baseline)."""
+        return self.total_latency(frozenset())
+
+    def compute_bound_latency(self) -> float:
+        """Lower bound: latency if no transfer ever stalled the array."""
+        return sum(ll.compute for ll in self._layers.values())
+
+    def memory_bound_nodes(self) -> list[str]:
+        """Executed nodes whose UMM latency is transfer-limited."""
+        return [name for name, ll in self._layers.items() if ll.is_memory_bound]
+
+    def throughput(self, latency: float) -> float:
+        """Ops/second achieved for one inference finishing in ``latency``."""
+        if latency <= 0:
+            raise ValueError("latency must be positive")
+        total_ops = 2 * sum(ll.macs for ll in self._layers.values())
+        return total_ops / latency
+
+    def bandwidth_requirement(self, name: str) -> float:
+        """Bytes/second the node needs to never stall (paper Sec. 2.2)."""
+        ll = self.layer(name)
+        if ll.compute <= 0:
+            return float("inf")
+        return ll.total_transfer_bytes / ll.compute

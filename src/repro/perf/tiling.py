@@ -1,0 +1,97 @@
+"""Loop tiling of the convolution nest.
+
+The accelerator executes each convolution as a two-level tiled loop nest
+(Fig. 1(a) of the paper).  The outer loops walk tiles of the output
+channels (``tm``), input channels (``tn``) and output spatial extent
+(``th`` x ``tw``); each outer iteration streams one tile of each tensor
+between DDR and the on-chip tile buffers.  The tiling determines
+
+* the **tile buffer sizes** (doubled for double buffering), and
+* the **reload factors**: with output channels outermost, the whole input
+  feature map is re-streamed once per output-channel tile
+  (``ceil(M/tm)`` times) and the whole weight tensor once per spatial tile
+  (``ceil(H/th) * ceil(W/tw)`` times), while each output element is written
+  exactly once (partial sums accumulate on chip across input-channel
+  tiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Tile sizes of the convolution loop nest.
+
+    Attributes:
+        tm: Output-channel tile (outermost loop).
+        tn: Input-channel tile (innermost, accumulated on chip).
+        th: Output-row tile.
+        tw: Output-column tile.
+    """
+
+    tm: int
+    tn: int
+    th: int
+    tw: int
+
+    def __post_init__(self) -> None:
+        if min(self.tm, self.tn, self.th, self.tw) <= 0:
+            raise ValueError(f"tile sizes must be positive, got {self}")
+
+    # ------------------------------------------------------------------
+    # Reload factors
+    # ------------------------------------------------------------------
+    def output_channel_trips(self, out_channels: int) -> int:
+        """Outer-loop trip count over output channels: ceil(M / tm)."""
+        return math.ceil(out_channels / self.tm)
+
+    def spatial_trips(self, out_h: int, out_w: int) -> int:
+        """Trip count over output spatial tiles: ceil(H/th) * ceil(W/tw)."""
+        return math.ceil(out_h / self.th) * math.ceil(out_w / self.tw)
+
+    # ------------------------------------------------------------------
+    # Tile buffer footprints
+    # ------------------------------------------------------------------
+    def ifmap_tile_elems(self, kernel: tuple[int, int], stride: tuple[int, int]) -> int:
+        """Elements of one input tile, including the convolution halo."""
+        in_h = self.th * stride[0] + kernel[0] - stride[0]
+        in_w = self.tw * stride[1] + kernel[1] - stride[1]
+        return self.tn * in_h * in_w
+
+    def weight_tile_elems(self, kernel: tuple[int, int]) -> int:
+        """Elements of one weight tile."""
+        return self.tm * self.tn * kernel[0] * kernel[1]
+
+    def ofmap_tile_elems(self) -> int:
+        """Elements of one output tile."""
+        return self.tm * self.th * self.tw
+
+    def tile_buffer_bytes(
+        self,
+        element_bytes: int,
+        kernel: tuple[int, int] = (3, 3),
+        stride: tuple[int, int] = (1, 1),
+        double_buffered: bool = True,
+    ) -> int:
+        """Total on-chip footprint of the three tile buffers.
+
+        Args:
+            element_bytes: Bytes per element at the design precision.
+            kernel: Worst-case kernel the buffers must accommodate.
+            stride: Stride paired with that kernel.
+            double_buffered: Double the footprint for ping-pong operation
+                (the accelerator overlaps transfer with compute, Sec. 3.3).
+        """
+        elems = (
+            self.ifmap_tile_elems(kernel, stride)
+            + self.weight_tile_elems(kernel)
+            + self.ofmap_tile_elems()
+        )
+        factor = 2 if double_buffered else 1
+        return elems * element_bytes * factor
+
+    def __str__(self) -> str:
+        return f"(tm={self.tm}, tn={self.tn}, th={self.th}, tw={self.tw})"

@@ -1,0 +1,44 @@
+"""Timeline events emitted by the simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(str, enum.Enum):
+    """What happened at a timeline event."""
+
+    NODE_START = "node_start"
+    NODE_END = "node_end"
+    TRANSFER = "transfer"
+    PREFETCH_START = "prefetch_start"
+    PREFETCH_END = "prefetch_end"
+    STALL = "stall"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One event on the simulated timeline.
+
+    Attributes:
+        time: Simulation time in seconds at which the event occurs.
+        kind: Event kind.
+        node: The schedule node the event belongs to.
+        detail: Free-form annotation (interface name, stall cause...).
+        duration: For span-like events (transfers, stalls), the length.
+    """
+
+    time: float
+    kind: EventKind
+    node: str
+    detail: str = ""
+    duration: float = 0.0
+
+    def __str__(self) -> str:
+        span = f" (+{self.duration * 1e6:.1f}us)" if self.duration else ""
+        note = f" [{self.detail}]" if self.detail else ""
+        return f"{self.time * 1e3:9.4f}ms {self.kind}:{self.node}{note}{span}"

@@ -1,0 +1,195 @@
+"""The schedule simulator.
+
+Executes the compute schedule node by node against three explicit DDR
+interface channels.  Per node:
+
+* demand transfers (off-chip ifmap / weight tiles / ofmap write-back)
+  occupy their channel for the transfer duration and overlap the node's
+  compute (double buffering);
+* weight prefetch loads are issued when their PDG start node begins and
+  run as *background* traffic on the weight channel: demand tile streams
+  have priority, prefetches consume only the channel's idle time (the
+  standard DMA arbitration).  A prefetch squeezed out by demand traffic
+  finishes late — the contention the analytical model ignores;
+* a node whose weights live on chip stalls until its prefetch completes.
+
+The result carries the full event timeline plus per-channel busy time, so
+tests can assert both totals and causality (no node starts before its
+weights are resident; channels never exceed 100 % occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.tensor import TensorKind, weight_tensor_name
+from repro.lcmm.prefetch import PrefetchResult
+from repro.perf.latency import LatencyModel
+from repro.sim.events import EventKind, TimelineEvent
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated inference.
+
+    Attributes:
+        total_latency: Makespan of the schedule in seconds.
+        node_start: Per node, the time its execution began.
+        node_end: Per node, the time its execution finished.
+        stall_time: Total time nodes waited for unfinished prefetches.
+        channel_busy: Busy seconds per interface kind ("if"/"wt"/"of").
+        events: Full event timeline, time-ordered.
+    """
+
+    total_latency: float
+    node_start: dict[str, float]
+    node_end: dict[str, float]
+    stall_time: float
+    channel_busy: dict[str, float]
+    events: list[TimelineEvent] = field(repr=False, default_factory=list)
+
+    def node_latency(self, name: str) -> float:
+        """Wall-clock residence of one node on the timeline."""
+        return self.node_end[name] - self.node_start[name]
+
+    def channel_utilization(self, kind: str) -> float:
+        """Busy fraction of one interface over the whole run."""
+        if self.total_latency <= 0:
+            return 0.0
+        return self.channel_busy[kind] / self.total_latency
+
+
+def simulate(
+    model: LatencyModel,
+    onchip: frozenset[str] = frozenset(),
+    prefetch: PrefetchResult | None = None,
+    record_events: bool = True,
+) -> SimulationResult:
+    """Simulate one inference under an allocation.
+
+    Args:
+        model: Latency model supplying per-node compute/transfer times.
+        onchip: Tensor values resident on chip (empty = UMM).
+        prefetch: Prefetch pass output; required for on-chip weight
+            tensors to be loaded at all.  When an on-chip weight has no
+            prefetch edge its load is issued at the node itself (worst
+            case).
+        record_events: Keep the full timeline (disable for speed in
+            property tests that only check totals).
+
+    Returns:
+        The simulated timeline.
+    """
+    schedule = model.nodes()
+    index_of = {name: idx for idx, name in enumerate(schedule)}
+    events: list[TimelineEvent] = []
+
+    def emit(time: float, kind: EventKind, node: str, detail: str = "", duration: float = 0.0) -> None:
+        if record_events:
+            events.append(TimelineEvent(time, kind, node, detail, duration))
+
+    # Prefetch loads to issue when a given node starts.
+    issue_at: dict[str, list[tuple[str, float]]] = {}
+    prefetched_nodes: set[str] = set()
+    if prefetch is not None:
+        for node, edge in prefetch.edges.items():
+            wname = weight_tensor_name(node)
+            if wname not in onchip:
+                continue
+            issue_at.setdefault(edge.start, []).append((node, edge.load_time))
+            prefetched_nodes.add(node)
+
+    clock = 0.0
+    weights_ready: dict[str, float] = {}
+    node_start: dict[str, float] = {}
+    node_end: dict[str, float] = {}
+    busy = {"if": 0.0, "wt": 0.0, "of": 0.0}
+    stall_total = 0.0
+    # Outstanding background prefetches, FIFO: [node, remaining seconds].
+    outstanding: list[list] = []
+
+    def drain_prefetches(window_start: float, window_end: float, demand: float) -> None:
+        """Give the window's idle weight-channel time to prefetches.
+
+        Demand traffic has priority and occupies the head of the window;
+        the remaining idle tail feeds the outstanding prefetch queue.
+        """
+        nonlocal outstanding
+        idle_begin = window_start + demand
+        idle = window_end - idle_begin
+        while outstanding and idle > 1e-18:
+            entry = outstanding[0]
+            served = min(idle, entry[1])
+            entry[1] -= served
+            idle -= served
+            busy["wt"] += served
+            if entry[1] <= 1e-18:
+                done_at = window_end - idle
+                weights_ready[entry[0]] = done_at
+                emit(done_at, EventKind.PREFETCH_END, entry[0], "wt")
+                outstanding.pop(0)
+
+    for name in schedule:
+        ll = model.layer(name)
+
+        # Issue this node's prefetches before it starts executing: the PDG
+        # says the load begins when the start node begins.
+        for target, load_time in issue_at.get(name, ()):
+            outstanding.append([target, load_time])
+            emit(clock, EventKind.PREFETCH_START, target, "wt", load_time)
+
+        # Stall until prefetched weights are resident; stalled time is
+        # pure idle on every channel, so prefetches drain during it.
+        start = clock
+        if name in prefetched_nodes and weights_ready.get(name) is None:
+            pos = next(
+                (i for i, e in enumerate(outstanding) if e[0] == name), None
+            )
+            if pos is not None:
+                # Time to finish everything up to and including ours if
+                # the channel were fully idle from now on.
+                wait = sum(e[1] for e in outstanding[: pos + 1])
+                emit(start, EventKind.STALL, name, "await-prefetch", wait)
+                stall_total += wait
+                drain_prefetches(start, start + wait, demand=0.0)
+                start += wait
+        node_start[name] = start
+        emit(start, EventKind.NODE_START, name)
+
+        end = start + ll.compute
+        # Demand transfers overlap the node's own compute (double
+        # buffering); each occupies its channel for its duration.
+        if_time = ll.slot_latency(TensorKind.IFMAP, onchip)
+        of_time = ll.slot_latency(TensorKind.OFMAP, onchip)
+        wt_time = ll.slot_latency(TensorKind.WEIGHT, onchip)
+        if if_time > 0:
+            busy["if"] += if_time
+            emit(start, EventKind.TRANSFER, name, "if", if_time)
+            end = max(end, start + if_time)
+        if of_time > 0:
+            busy["of"] += of_time
+            emit(start, EventKind.TRANSFER, name, "of", of_time)
+            end = max(end, start + of_time)
+        if wt_time > 0:
+            # Demand weight tiles have channel priority over prefetches.
+            busy["wt"] += wt_time
+            emit(start, EventKind.TRANSFER, name, "wt", wt_time)
+            end = max(end, start + wt_time)
+
+        # Whatever the window leaves idle on the weight channel feeds the
+        # outstanding prefetches.
+        drain_prefetches(start, end, demand=wt_time)
+
+        node_end[name] = end
+        emit(end, EventKind.NODE_END, name)
+        clock = end
+
+    events.sort(key=lambda e: e.time)
+    return SimulationResult(
+        total_latency=clock,
+        node_start=node_start,
+        node_end=node_end,
+        stall_time=stall_total,
+        channel_busy=busy,
+        events=events,
+    )

@@ -1,0 +1,100 @@
+"""Tests for repro.analysis.design_space — the Fig. 2(b) enumerator."""
+
+import pytest
+
+from repro.analysis.design_space import DesignSpaceEnumerator, enumerate_design_space
+from repro.models import get_model
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, small_accel
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import conv
+
+
+def build_blocked_chain(num_blocks: int = 4) -> ComputationGraph:
+    """A chain with two convs per named inception-style block."""
+    g = ComputationGraph(name="blocked")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(64, 14, 14)))
+    src = "data"
+    for b in range(1, num_blocks + 1):
+        g.begin_block(f"inception_x{b}")
+        src = conv(g, f"b{b}_c1", src, 128, 1)
+        src = conv(g, f"b{b}_c2", src, 64, 3)
+        g.end_block()
+    g.validate()
+    return g
+
+
+@pytest.fixture
+def enumerator():
+    return DesignSpaceEnumerator(
+        build_blocked_chain(), small_accel(ddr_efficiency=0.1)
+    )
+
+
+class TestEnumerator:
+    def test_point_count_is_two_to_the_blocks(self, enumerator):
+        points = enumerator.enumerate()
+        assert len(points) == 2 ** len(enumerator.blocks)
+
+    def test_empty_mask_is_umm(self, enumerator):
+        point = enumerator.evaluate(0)
+        assert point.onchip_bytes == 0
+        assert point.chosen_blocks == ()
+        assert point.latency == pytest.approx(enumerator.model.umm_latency())
+
+    def test_full_mask_pins_all_block_tensors(self, enumerator):
+        full = (1 << len(enumerator.blocks)) - 1
+        point = enumerator.evaluate(full)
+        assert point.chosen_blocks == enumerator.blocks
+        assert point.latency <= enumerator.evaluate(0).latency + 1e-15
+
+    def test_decomposed_latency_matches_direct_evaluation(self, enumerator):
+        """The per-node lookup tables must agree with a direct Eq. 1 sweep."""
+        model = enumerator.model
+        for mask in (0b0001, 0b0101, 0b1010, 0b1111, 0b0110):
+            point = enumerator.evaluate(mask)
+            chosen = {enumerator._block_index[b] for b in point.chosen_blocks}
+            onchip = frozenset(
+                t for t, bit in enumerator._tensor_bit.items() if bit in chosen
+            )
+            assert point.latency == pytest.approx(model.total_latency(onchip))
+
+    def test_memory_axis_is_monotone_in_subsets(self, enumerator):
+        sub = enumerator.evaluate(0b0011)
+        sup = enumerator.evaluate(0b0111)
+        assert sup.onchip_bytes > sub.onchip_bytes
+
+    def test_stride_subsamples(self, enumerator):
+        full = enumerator.enumerate()
+        sampled = enumerator.enumerate(stride=4)
+        assert len(sampled) == len(full) // 4
+        assert sampled[0].latency == pytest.approx(full[0].latency)
+
+    def test_bad_stride_rejected(self, enumerator):
+        with pytest.raises(ValueError):
+            enumerator.enumerate(stride=0)
+
+    def test_graph_without_blocks_rejected(self):
+        with pytest.raises(ValueError, match="no selectable blocks"):
+            DesignSpaceEnumerator(build_chain(), small_accel())
+
+
+class TestInceptionV4Space:
+    def test_fourteen_block_axis(self):
+        g = get_model("inception_v4")
+        enum = DesignSpaceEnumerator(g, small_accel(ddr_efficiency=0.5))
+        assert len(enum.blocks) == 14
+
+    def test_sampled_enumeration(self):
+        g = get_model("inception_v4")
+        points = enumerate_design_space(
+            g, small_accel(ddr_efficiency=0.5), stride=1024
+        )
+        assert len(points) == 16
+        # The paper's observation: more memory does not imply more
+        # performance — but zero memory is never the best point here.
+        best = max(points, key=lambda p: p.tops)
+        assert best.onchip_bytes > 0

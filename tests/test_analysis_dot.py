@@ -1,0 +1,85 @@
+"""Tests for the DOT exporters."""
+
+import pytest
+
+from repro.analysis.dot import (
+    computation_graph_dot,
+    interference_graph_dot,
+    prefetch_graph_dot,
+)
+from repro.lcmm.feature_reuse import feature_reuse_pass
+from repro.lcmm.prefetch import weight_prefetch_pass
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, build_snippet, small_accel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LatencyModel(build_snippet(), small_accel(ddr_efficiency=0.05))
+
+
+class TestComputationGraphDot:
+    def test_every_node_and_edge_present(self, model):
+        dot = computation_graph_dot(model.graph)
+        for layer in model.graph.layers():
+            assert f'"{layer.name}"' in dot
+            for src in layer.inputs:
+                assert f'"{src}" -> "{layer.name}";' in dot
+
+    def test_digraph_syntax(self, model):
+        dot = computation_graph_dot(model.graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_highlighting(self, model):
+        dot = computation_graph_dot(model.graph, frozenset({"C2"}))
+        assert "penwidth=3" in dot
+
+    def test_concat_colored(self, model):
+        dot = computation_graph_dot(model.graph)
+        assert "lightgreen" in dot  # the concat node
+
+
+class TestInterferenceDot:
+    def test_nodes_and_edges(self, model):
+        result = feature_reuse_pass(model.graph, model)
+        dot = interference_graph_dot(result.interference)
+        for name in result.interference.tensors:
+            assert f'"{name}"' in dot
+        assert dot.count(" -- ") == result.interference.edge_count()
+
+    def test_false_edges_dashed(self, model):
+        result = feature_reuse_pass(model.graph, model)
+        graph = result.interference
+        names = list(graph.tensors)
+        pair = None
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if not graph.interferes(a, b):
+                    pair = (a, b)
+                    break
+            if pair:
+                break
+        if pair is None:
+            pytest.skip("no non-interfering pair to split")
+        graph.add_false_edge(*pair)
+        dot = interference_graph_dot(graph)
+        assert "style=dashed" in dot
+
+
+class TestPrefetchDot:
+    def test_edges_rendered(self, model):
+        result = weight_prefetch_pass(model.graph, model)
+        dot = prefetch_graph_dot(result)
+        assert dot.startswith("digraph pdg")
+        for edge in result.edges.values():
+            assert f'"{edge.start}" -> "{edge.node}"' in dot
+
+    def test_residual_annotated(self):
+        chain = build_chain(num_convs=4, channels=256, hw=14)
+        model = LatencyModel(chain, small_accel(ddr_efficiency=0.01))
+        result = weight_prefetch_pass(chain, model)
+        if any(not e.fully_hidden for e in result.edges.values()):
+            assert "+" in prefetch_graph_dot(result)

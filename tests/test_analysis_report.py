@@ -1,0 +1,69 @@
+"""Tests for repro.analysis.report and repro.analysis.metrics."""
+
+import pytest
+
+from repro.analysis.metrics import average_speedup, block_throughput, geomean
+from repro.analysis.report import format_markdown_table, format_table
+from repro.models import get_model
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("a", "bb"), [(1, 2), (333, 4)])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        # All rows are padded to equal width per column.
+        assert len(set(len(l.rstrip()) for l in lines[2:])) <= 2
+
+    def test_floats_rendered_three_decimals(self):
+        out = format_table(("x",), [(1.23456,)])
+        assert "1.235" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table(("a", "b"), [(1, 2)])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(("a",), [(1, 2)])
+
+
+class TestMetrics:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_average_speedup_is_arithmetic_mean(self):
+        assert average_speedup([1.0, 2.0]) == pytest.approx(1.5)
+
+    def test_average_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_speedup([])
+
+    def test_block_throughput(self):
+        g = get_model("googlenet")
+        latencies = {name: 1e-6 for name in g.compute_schedule()}
+        tput = block_throughput(g, latencies, "inception_3a")
+        assert tput > 0
+
+    def test_block_throughput_unknown_block(self):
+        g = get_model("googlenet")
+        with pytest.raises(KeyError):
+            block_throughput(g, {}, "inception_9z")

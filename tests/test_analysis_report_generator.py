@@ -1,0 +1,44 @@
+"""Tests for the live markdown report generator."""
+
+import pytest
+
+from repro.analysis.report_generator import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report()
+
+
+class TestGenerateReport:
+    def test_all_sections_present(self, report):
+        for heading in (
+            "# LCMM reproduction",
+            "## Table 1",
+            "## Table 2",
+            "## Table 3",
+            "## Fig. 2(a)",
+            "## Fig. 8",
+        ):
+            assert heading in report
+
+    def test_all_design_points_reported(self, report):
+        for bench in ("resnet152", "googlenet", "inception_v4"):
+            assert bench in report
+        for prec in ("int8", "int16", "fp32"):
+            assert prec in report
+
+    def test_average_speedup_line(self, report):
+        assert "Average speedup" in report
+        assert "paper: 1.36x" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = report.splitlines()
+        for idx, line in enumerate(lines):
+            if line.startswith("|---"):
+                header = lines[idx - 1]
+                assert header.count("|") == line.count("|")
+
+    def test_write_report(self, tmp_path, report):
+        target = write_report(tmp_path / "report.md")
+        assert target.read_text() == report

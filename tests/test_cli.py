@@ -1,0 +1,124 @@
+"""Tests for the lcmm command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_commands_parse(self):
+        for cmd in ("table1", "table2", "table3", "fig8"):
+            args = build_parser().parse_args([cmd])
+            assert callable(args.func)
+
+    def test_fig2b_options(self):
+        args = build_parser().parse_args(["fig2b", "--stride", "64"])
+        assert args.stride == 64
+        assert args.precision == "int8"
+
+    def test_run_requires_known_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "lenet"])
+
+
+class TestCommands:
+    def test_run_command_output(self, capsys):
+        assert main(["run", "googlenet", "--precision", "int8"]) == 0
+        out = capsys.readouterr().out
+        assert "Speedup" in out
+        assert "UMM" in out and "LCMM" in out
+
+    def test_fig2a_output(self, capsys):
+        assert main(["fig2a"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory-bound conv layers" in out
+        assert "Ridge point" in out
+
+    def test_fig2a_points_flag(self, capsys):
+        assert main(["fig2a", "--points"]) == 0
+        out = capsys.readouterr().out
+        assert "Layer" in out
+
+    def test_fig2b_sampled(self, capsys):
+        assert main(["fig2b", "--stride", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "allocation points" in out
+
+    def test_table3_output(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Cloud-DNN [3]" in out
+        assert "TGPA [17]" in out
+        assert "measured" in out
+
+    def test_fig8_output(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "inception_3a" in out
+        assert "LCMM (feature reuse)" in out
+
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Average speedup" in out
+
+    def test_table2_output(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "POL" in out
+
+    def test_doublebuffer_output(self, capsys):
+        assert main(["doublebuffer"]) == 0
+        out = capsys.readouterr().out
+        assert "NON-LINEAR" in out
+        assert "alexnet" in out and "linear" in out
+
+    def test_batch_output(self, capsys):
+        assert main(["batch", "googlenet", "--images", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "steady state" in out
+        assert "img/s" in out
+
+    def test_sweep_output(self, capsys):
+        assert main(["sweep", "googlenet"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_simulate_output(self, capsys):
+        assert main(["simulate", "googlenet", "--rows", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "= execution" in out
+
+    @pytest.mark.parametrize("view", ("graph", "interference", "pdg"))
+    def test_dot_output(self, capsys, tmp_path, view):
+        target = str(tmp_path / f"{view}.dot")
+        assert main(["dot", "googlenet", "--view", view, "-o", target]) == 0
+        contents = open(target).read()
+        assert contents.startswith(("digraph", "graph"))
+
+    def test_cotune_output(self, capsys):
+        assert main(["cotune", "googlenet"]) == 0
+        out = capsys.readouterr().out
+        assert "best" in out
+        assert "LCMM" in out
+
+    def test_report_output(self, capsys, tmp_path):
+        target = str(tmp_path / "report.md")
+        assert main(["report", "-o", target]) == 0
+        contents = open(target).read()
+        assert "## Table 1" in contents
+        assert "## Fig. 8" in contents
+
+    def test_export_output(self, capsys, tmp_path):
+        target = str(tmp_path / "alloc.json")
+        assert main(["export", "googlenet", "-o", target]) == 0
+        import json
+
+        data = json.loads(open(target).read())
+        assert data["model"] == "googlenet"
+        assert data["buffers"]

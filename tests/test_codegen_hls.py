@@ -1,0 +1,118 @@
+"""Tests for the HLS code generator."""
+
+import pytest
+
+from repro.codegen import generate_design, write_design
+from repro.codegen.hls import _identifier
+from repro.lcmm.framework import run_lcmm
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, small_accel
+
+
+@pytest.fixture(scope="module")
+def design_setup():
+    graph = build_chain(num_convs=6, channels=128, hw=14)
+    accel = small_accel(ddr_efficiency=0.05)
+    model = LatencyModel(graph, accel)
+    lcmm = run_lcmm(graph, accel, model=model)
+    return model, lcmm, generate_design(lcmm, model)
+
+
+class TestIdentifier:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("conv1", "conv1"),
+            ("inception_3a/1x1", "inception_3a_1x1"),
+            ("3x3", "_3x3"),
+            ("w:conv1", "w_conv1"),
+        ],
+    )
+    def test_sanitisation(self, name, expected):
+        assert _identifier(name) == expected
+
+
+class TestDesignHeader:
+    def test_constants_present(self, design_setup):
+        model, _, design = design_setup
+        header = design.design_header
+        accel = model.accel
+        assert f"constexpr int ARRAY_ROWS = {accel.array.rows};" in header
+        assert f"constexpr int TILE_TM = {accel.tile.tm};" in header
+        assert "using data_t = ap_int<8>;" in header  # int8 design
+
+    def test_pragma_once(self, design_setup):
+        _, _, design = design_setup
+        assert "#pragma once" in design.design_header
+
+
+class TestBuffersHeader:
+    def test_one_array_per_physical_buffer(self, design_setup):
+        _, lcmm, design = design_setup
+        for pbuf in lcmm.physical_buffers:
+            assert f"data_t {_identifier(pbuf.name)}[" in design.buffers_header
+
+    def test_storage_pragmas(self, design_setup):
+        _, lcmm, design = design_setup
+        assert design.buffers_header.count("#pragma HLS bind_storage") == (
+            3 + len(lcmm.physical_buffers)  # tile buffers + tensor buffers
+        )
+
+    def test_residents_documented(self, design_setup):
+        _, lcmm, design = design_setup
+        for pbuf in lcmm.physical_buffers:
+            for tensor in pbuf.tensor_names:
+                assert tensor in design.buffers_header
+
+    def test_buffer_depth_matches_bytes(self, design_setup):
+        model, lcmm, design = design_setup
+        elem = model.accel.precision.bytes
+        for pbuf in lcmm.physical_buffers:
+            depth = (pbuf.size_bytes + elem - 1) // elem
+            assert f"[{depth}];" in design.buffers_header
+
+
+class TestScheduleSource:
+    def test_every_node_scheduled(self, design_setup):
+        model, _, design = design_setup
+        for node in model.nodes():
+            assert f"run_{_identifier(node)}();" in design.schedule_source
+
+    def test_onchip_sources_annotated(self, design_setup):
+        model, lcmm, design = design_setup
+        if lcmm.onchip_tensors:
+            assert "<-pbuf" in design.schedule_source.replace("<- pbuf", "<-pbuf")
+
+    def test_prefetches_issued(self, design_setup):
+        _, lcmm, design = design_setup
+        onchip_weights = [t for t in lcmm.onchip_tensors if t.startswith("w:")]
+        assert design.schedule_source.count("prefetch_weights(") == len(
+            onchip_weights
+        )
+
+    def test_braces_balanced(self, design_setup):
+        _, _, design = design_setup
+        for contents in design.files().values():
+            assert contents.count("{") == contents.count("}")
+
+    def test_axi_interfaces(self, design_setup):
+        _, _, design = design_setup
+        for bundle in ("gmem_if", "gmem_wt", "gmem_of"):
+            assert bundle in design.schedule_source
+
+
+class TestWriteDesign:
+    def test_writes_three_files(self, design_setup, tmp_path):
+        model, lcmm, _ = design_setup
+        written = write_design(lcmm, model, tmp_path)
+        assert len(written) == 3
+        names = {p.name for p in written}
+        assert names == {"lcmm_design.h", "buffers.h", "schedule.cpp"}
+        for path in written:
+            assert path.read_text().startswith("// Generated")
+
+    def test_deterministic(self, design_setup):
+        model, lcmm, design = design_setup
+        again = generate_design(lcmm, model)
+        assert again.files() == design.files()

@@ -1,0 +1,124 @@
+"""Failure-injection tests: corrupted results must never pass validation.
+
+The validators are the safety net for downstream users; these tests
+systematically corrupt every field of a healthy LCMM result and assert
+the validator rejects each corruption.  A validator that silently accepts
+a broken allocation is worse than none.
+"""
+
+import copy
+
+import pytest
+
+from repro.lcmm.buffers import CandidateTensor, TensorClass, VirtualBuffer
+from repro.lcmm.framework import run_lcmm
+from repro.lcmm.liveness import LiveRange
+from repro.lcmm.validate import AllocationError, validate_result
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, small_accel
+
+
+@pytest.fixture
+def healthy():
+    graph = build_chain(num_convs=6, channels=128, hw=14)
+    accel = small_accel(ddr_efficiency=0.05)
+    model = LatencyModel(graph, accel)
+    lcmm = run_lcmm(graph, accel, model=model)
+    assert lcmm.physical_buffers, "fixture must allocate something"
+    return model, lcmm
+
+
+class TestFieldCorruptions:
+    def test_healthy_passes(self, healthy):
+        model, lcmm = healthy
+        validate_result(lcmm, model)
+
+    def test_inflated_latency_caught(self, healthy):
+        model, lcmm = healthy
+        lcmm.latency = model.umm_latency() * 1.5
+        with pytest.raises(AllocationError):
+            validate_result(lcmm, model)
+
+    def test_deflated_latency_caught(self, healthy):
+        model, lcmm = healthy
+        lcmm.latency = model.compute_bound_latency() * 0.5
+        with pytest.raises(AllocationError):
+            validate_result(lcmm, model)
+
+    def test_phantom_onchip_tensor_caught(self, healthy):
+        model, lcmm = healthy
+        lcmm.onchip_tensors = lcmm.onchip_tensors | {"f:phantom"}
+        with pytest.raises(AllocationError):
+            validate_result(lcmm, model)
+
+    def test_dropped_onchip_tensor_caught(self, healthy):
+        model, lcmm = healthy
+        victim = next(iter(lcmm.onchip_tensors))
+        lcmm.onchip_tensors = lcmm.onchip_tensors - {victim}
+        with pytest.raises(AllocationError):
+            validate_result(lcmm, model)
+
+    def test_duplicated_buffer_tensor_caught(self, healthy):
+        model, lcmm = healthy
+        if len(lcmm.physical_buffers) >= 2:
+            first = lcmm.physical_buffers[0].virtual.tensors[0]
+            lcmm.physical_buffers[1].virtual.tensors.append(first)
+            with pytest.raises(AllocationError):
+                validate_result(lcmm, model)
+
+    def test_overlapping_cohabitants_caught(self, healthy):
+        model, lcmm = healthy
+        buf = lcmm.physical_buffers[0].virtual
+        clash = CandidateTensor(
+            name="f:clash",
+            tensor_class=TensorClass.FEATURE,
+            size_bytes=1,
+            live_range=LiveRange(0, 10**6),  # overlaps everything
+            affected_nodes=("c1",),
+        )
+        buf.tensors.append(clash)
+        lcmm.onchip_tensors = lcmm.onchip_tensors | {"f:clash"}
+        with pytest.raises(AllocationError):
+            validate_result(lcmm, model)
+
+    def test_uram_overcommit_caught(self, healthy):
+        model, lcmm = healthy
+        lcmm.sram_usage.uram_used = lcmm.sram_usage.budget.uram_blocks + 1
+        with pytest.raises(AllocationError, match="URAM"):
+            validate_result(lcmm, model)
+
+    def test_bram_overcommit_caught(self, healthy):
+        model, lcmm = healthy
+        lcmm.sram_usage.bram36_used = lcmm.sram_usage.budget.bram36_blocks + 1
+        with pytest.raises(AllocationError, match="BRAM"):
+            validate_result(lcmm, model)
+
+    def test_slowed_node_caught(self, healthy):
+        model, lcmm = healthy
+        node = model.nodes()[2]
+        lcmm.node_latencies[node] *= 100
+        with pytest.raises(AllocationError, match="slower"):
+            validate_result(lcmm, model)
+
+    def test_negative_residual_caught(self, healthy):
+        model, lcmm = healthy
+        weights = [t for t in lcmm.onchip_tensors if t.startswith("w:")]
+        if weights:
+            lcmm.residuals[weights[0]] = -1e-6
+            with pytest.raises(AllocationError):
+                validate_result(lcmm, model)
+
+
+class TestColoringCorruptions:
+    def test_corrupted_feature_coloring_caught(self, healthy):
+        from repro.lcmm.validate import validate_buffers
+
+        model, lcmm = healthy
+        feature = lcmm.feature_result
+        if len(feature.buffers) >= 2:
+            # Move a tensor into a buffer where it interferes.
+            donor = feature.buffers[0].tensors[0]
+            feature.buffers[1].tensors.append(donor)
+            with pytest.raises(AllocationError):
+                validate_buffers(lcmm)

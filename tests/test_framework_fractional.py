@@ -1,0 +1,126 @@
+"""Tests for the fractional-fill extension (partial tensor residency)."""
+
+import pytest
+
+from repro.hw.sram import URAM_BYTES
+from repro.lcmm.framework import LCMMOptions, run_lcmm
+from repro.lcmm.validate import validate_result
+from repro.perf.latency import LatencyModel
+from repro.ir.tensor import TensorKind
+
+from tests.conftest import build_chain, small_accel
+
+
+@pytest.fixture(scope="module")
+def starved():
+    graph = build_chain(num_convs=8, channels=128, hw=28)
+    accel = small_accel(ddr_efficiency=0.05)
+    return graph, accel, LatencyModel(graph, accel)
+
+
+def tight_budget(accel, blocks: int) -> int:
+    return accel.tile_buffer_bytes() + blocks * URAM_BYTES
+
+
+class TestFractionalSlotModel:
+    def test_fraction_scales_transfer(self, starved):
+        _, _, model = starved
+        ll = model.layer("c3")
+        full = ll.slot_latency(TensorKind.IFMAP)
+        half = ll.slot_latency(
+            TensorKind.IFMAP, fractions={"f:c2": 0.5}
+        )
+        assert half == pytest.approx(full / 2)
+
+    def test_fraction_one_equals_onchip(self, starved):
+        _, _, model = starved
+        ll = model.layer("c3")
+        assert ll.slot_latency(
+            TensorKind.IFMAP, fractions={"f:c2": 1.0}
+        ) == pytest.approx(ll.slot_latency(TensorKind.IFMAP, frozenset({"f:c2"})))
+
+    def test_onchip_takes_precedence_over_fraction(self, starved):
+        _, _, model = starved
+        ll = model.layer("c3")
+        both = ll.slot_latency(
+            TensorKind.IFMAP, frozenset({"f:c2"}), None, {"f:c2": 0.3}
+        )
+        assert both == 0.0
+
+
+class TestFractionalFill:
+    def test_disabled_by_default(self, starved):
+        graph, accel, model = starved
+        result = run_lcmm(
+            graph,
+            accel,
+            options=LCMMOptions(sram_budget=tight_budget(accel, 2)),
+            model=model,
+        )
+        assert result.fractions == {}
+
+    def test_fill_improves_tight_budget(self, starved):
+        graph, accel, model = starved
+        budget = tight_budget(accel, 2)
+        plain = run_lcmm(
+            graph, accel, options=LCMMOptions(sram_budget=budget), model=model
+        )
+        filled = run_lcmm(
+            graph,
+            accel,
+            options=LCMMOptions(sram_budget=budget, fractional_fill=True),
+            model=model,
+        )
+        assert filled.latency <= plain.latency
+        if filled.fractions:
+            assert filled.latency < plain.latency
+
+    def test_fractions_are_valid(self, starved):
+        graph, accel, model = starved
+        filled = run_lcmm(
+            graph,
+            accel,
+            options=LCMMOptions(
+                sram_budget=tight_budget(accel, 3), fractional_fill=True
+            ),
+            model=model,
+        )
+        for name, fraction in filled.fractions.items():
+            assert 0.0 < fraction <= 1.0
+            assert name.startswith("f:")
+            assert name not in filled.onchip_tensors
+
+    def test_capacity_still_respected(self, starved):
+        graph, accel, model = starved
+        budget = tight_budget(accel, 3)
+        filled = run_lcmm(
+            graph,
+            accel,
+            options=LCMMOptions(sram_budget=budget, fractional_fill=True),
+            model=model,
+        )
+        assert filled.sram_usage.used_bytes <= budget + URAM_BYTES
+
+    def test_node_latencies_reflect_fractions(self, starved):
+        graph, accel, model = starved
+        filled = run_lcmm(
+            graph,
+            accel,
+            options=LCMMOptions(
+                sram_budget=tight_budget(accel, 3), fractional_fill=True
+            ),
+            model=model,
+        )
+        assert sum(filled.node_latencies.values()) == pytest.approx(filled.latency)
+
+    def test_huge_budget_leaves_no_fractions_needed(self, starved):
+        graph, accel, model = starved
+        filled = run_lcmm(
+            graph,
+            accel,
+            options=LCMMOptions(fractional_fill=True),
+            model=model,
+        )
+        # Everything useful fits whole; fractional fill finds nothing or
+        # only zero-gain leftovers.
+        validate_result(filled, model)

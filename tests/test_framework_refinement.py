@@ -1,0 +1,75 @@
+"""Tests for the prefetch fixpoint refinement option."""
+
+import pytest
+
+from repro.lcmm.framework import LCMMOptions, run_lcmm
+from repro.lcmm.prefetch import weight_prefetch_pass
+from repro.lcmm.validate import validate_result
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, small_accel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = build_chain(num_convs=8, channels=128, hw=14)
+    accel = small_accel(ddr_efficiency=0.05)
+    return graph, accel, LatencyModel(graph, accel)
+
+
+class TestPrefetchBaselineParameter:
+    def test_shorter_baseline_lengthens_spans(self, setup):
+        graph, _, model = setup
+        default = weight_prefetch_pass(graph, model)
+        # Halve every node latency: the same load needs more nodes to hide.
+        halved = {n: model.node_latency(n) / 2 for n in model.nodes()}
+        refined = weight_prefetch_pass(graph, model, baseline_latencies=halved)
+        for node, edge in refined.edges.items():
+            if node in default.edges:
+                schedule = model.nodes()
+                assert schedule.index(edge.start) <= schedule.index(
+                    default.edges[node].start
+                )
+
+    def test_explicit_baseline_equals_default(self, setup):
+        graph, _, model = setup
+        explicit = weight_prefetch_pass(
+            graph,
+            model,
+            baseline_latencies={n: model.node_latency(n) for n in model.nodes()},
+        )
+        default = weight_prefetch_pass(graph, model)
+        assert explicit.edges == default.edges
+
+
+class TestRefinementOption:
+    def test_refinement_never_hurts(self, setup):
+        graph, accel, model = setup
+        base = run_lcmm(graph, accel, model=model)
+        refined = run_lcmm(
+            graph, accel, options=LCMMOptions(prefetch_refinement=3), model=model
+        )
+        assert refined.latency <= base.latency + 1e-15
+        validate_result(refined, model)
+
+    def test_refinement_with_prefetch_disabled_is_noop(self, setup):
+        graph, accel, model = setup
+        plain = run_lcmm(
+            graph, accel, options=LCMMOptions(weight_prefetch=False), model=model
+        )
+        refined = run_lcmm(
+            graph,
+            accel,
+            options=LCMMOptions(weight_prefetch=False, prefetch_refinement=2),
+            model=model,
+        )
+        assert refined.latency == pytest.approx(plain.latency)
+
+    def test_refined_residuals_consistent(self, setup):
+        graph, accel, model = setup
+        refined = run_lcmm(
+            graph, accel, options=LCMMOptions(prefetch_refinement=2), model=model
+        )
+        for name, residual in refined.residuals.items():
+            assert name in refined.onchip_tensors
+            assert residual >= 0

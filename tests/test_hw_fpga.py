@@ -1,0 +1,84 @@
+"""Tests for repro.hw.fpga."""
+
+import pytest
+
+from repro.hw.fpga import VU9P, FPGADevice, make_vu9p
+from repro.hw.precision import FP32, INT8, INT16
+from repro.hw.sram import SRAMBudget
+
+
+class TestVU9P:
+    def test_dsp_inventory(self):
+        assert VU9P.dsp_slices == 6840
+
+    def test_sram_inventory_matches_paper(self):
+        # Tab. 3 implies ~9.47 MB BRAM (7.20 MB = 76%) and ~33.75 MB URAM
+        # (27.68 MB = 82%).
+        assert VU9P.sram.bram36_blocks == 2160
+        assert VU9P.sram.uram_blocks == 960
+        assert VU9P.sram_bytes == pytest.approx(43.2 * 2**20, rel=0.02)
+
+    def test_four_ddr_banks_at_19_2gbps(self):
+        assert VU9P.ddr_banks == 4
+        assert VU9P.ddr_bank_bandwidth == pytest.approx(19.2e9)
+        assert VU9P.total_ddr_bandwidth == pytest.approx(76.8e9)
+
+    def test_make_vu9p_returns_the_device(self):
+        assert make_vu9p() is VU9P
+
+
+class TestPeakMath:
+    def test_peak_macs_fixed_point(self):
+        assert VU9P.peak_macs(INT8) == 6840
+        assert VU9P.peak_macs(INT16) == 6840
+
+    def test_peak_macs_fp32_divided_by_five(self):
+        assert VU9P.peak_macs(FP32) == 6840 // 5
+
+    def test_peak_macs_with_utilization(self):
+        assert VU9P.peak_macs(INT8, dsp_utilization=0.5) == 3420
+
+    def test_peak_ops_uses_two_ops_per_mac(self):
+        peak = VU9P.peak_ops_per_second(INT8, frequency=200e6)
+        assert peak == pytest.approx(2 * 6840 * 200e6)
+
+    def test_peak_ops_default_frequency(self):
+        assert VU9P.peak_ops_per_second(INT8) == pytest.approx(
+            2 * 6840 * VU9P.default_frequency
+        )
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            VU9P.peak_macs(INT8, dsp_utilization=0.0)
+        with pytest.raises(ValueError):
+            VU9P.peak_macs(INT8, dsp_utilization=1.5)
+
+
+class TestValidation:
+    def _device(self, **overrides):
+        kwargs = dict(
+            name="dev",
+            dsp_slices=100,
+            clb_luts=1000,
+            sram=SRAMBudget(bram36_blocks=10, uram_blocks=10),
+            ddr_banks=1,
+            ddr_bank_bandwidth=1e9,
+        )
+        kwargs.update(overrides)
+        return FPGADevice(**kwargs)
+
+    def test_rejects_zero_dsps(self):
+        with pytest.raises(ValueError):
+            self._device(dsp_slices=0)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            self._device(ddr_banks=0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            self._device(ddr_bank_bandwidth=0)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            self._device(default_frequency=0)

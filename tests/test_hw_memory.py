@@ -1,0 +1,67 @@
+"""Tests for repro.hw.memory."""
+
+import pytest
+
+from repro.hw.fpga import VU9P
+from repro.hw.memory import DDRSystem, MemoryInterface, make_vu9p_ddr
+
+
+class TestMemoryInterface:
+    def test_transfer_time_is_bytes_over_bandwidth(self):
+        iface = MemoryInterface("if", bandwidth=10e9)
+        assert iface.transfer_time(10e9) == pytest.approx(1.0)
+
+    def test_zero_bytes_is_free(self):
+        iface = MemoryInterface("if", bandwidth=10e9, burst_overhead=1e-6)
+        assert iface.transfer_time(0) == 0.0
+
+    def test_burst_overhead_scales_with_bursts(self):
+        iface = MemoryInterface("if", bandwidth=1e9, burst_overhead=1e-6)
+        base = iface.transfer_time(1000, bursts=1)
+        assert iface.transfer_time(1000, bursts=10) == pytest.approx(base + 9e-6)
+
+    def test_rejects_negative_bytes(self):
+        iface = MemoryInterface("if", bandwidth=1e9)
+        with pytest.raises(ValueError):
+            iface.transfer_time(-1)
+
+    def test_rejects_zero_bursts(self):
+        iface = MemoryInterface("if", bandwidth=1e9)
+        with pytest.raises(ValueError):
+            iface.transfer_time(100, bursts=0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            MemoryInterface("if", bandwidth=0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            MemoryInterface("if", bandwidth=1e9, burst_overhead=-1)
+
+
+class TestVU9PDDR:
+    def test_paper_bandwidth_split(self):
+        # Sec. 2.2: 19.2 GB/s x 4 banks / 3 interfaces = 25.6 GB/s each.
+        ddr = make_vu9p_ddr(VU9P)
+        for kind in ("if", "wt", "of"):
+            assert ddr.interface(kind).bandwidth == pytest.approx(25.6e9)
+
+    def test_total_bandwidth_preserved(self):
+        ddr = make_vu9p_ddr(VU9P)
+        assert ddr.total_bandwidth == pytest.approx(VU9P.total_ddr_bandwidth)
+
+    def test_interface_lookup_names(self):
+        ddr = make_vu9p_ddr(VU9P)
+        assert ddr.interface("if") is ddr.ifmap
+        assert ddr.interface("wt") is ddr.weight
+        assert ddr.interface("of") is ddr.ofmap
+
+    def test_unknown_interface_raises(self):
+        ddr = make_vu9p_ddr(VU9P)
+        with pytest.raises(KeyError):
+            ddr.interface("dma")
+
+    def test_burst_overhead_threaded_through(self):
+        ddr = make_vu9p_ddr(VU9P, burst_overhead=2e-6)
+        assert ddr.ifmap.burst_overhead == 2e-6
+        assert ddr.ofmap.burst_overhead == 2e-6

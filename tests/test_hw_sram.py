@@ -1,0 +1,120 @@
+"""Tests for repro.hw.sram."""
+
+import pytest
+
+from repro.hw.sram import (
+    BRAM18_BYTES,
+    BRAM36_BYTES,
+    URAM_BYTES,
+    SRAMBudget,
+    SRAMUsage,
+    blocks_for,
+)
+
+
+class TestBlockConstants:
+    def test_bram18_is_18_kbit(self):
+        assert BRAM18_BYTES == 18 * 1024 // 8
+
+    def test_bram36_is_double_bram18(self):
+        assert BRAM36_BYTES == 2 * BRAM18_BYTES
+
+    def test_uram_is_288_kbit(self):
+        assert URAM_BYTES == 288 * 1024 // 8
+
+    def test_uram_is_eight_bram36(self):
+        assert URAM_BYTES == 8 * BRAM36_BYTES
+
+
+class TestBlocksFor:
+    def test_zero_bytes_needs_no_blocks(self):
+        assert blocks_for(0, URAM_BYTES) == 0
+
+    def test_exact_fit(self):
+        assert blocks_for(URAM_BYTES, URAM_BYTES) == 1
+
+    def test_one_byte_over_needs_extra_block(self):
+        assert blocks_for(URAM_BYTES + 1, URAM_BYTES) == 2
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            blocks_for(-1, URAM_BYTES)
+
+    def test_rejects_zero_block(self):
+        with pytest.raises(ValueError):
+            blocks_for(10, 0)
+
+
+class TestSRAMBudget:
+    def test_vu9p_like_totals(self):
+        budget = SRAMBudget(bram36_blocks=2160, uram_blocks=960)
+        # ~9.49 MB BRAM + 33.75 MB URAM = ~43 MB, the paper's "40 MB".
+        assert budget.bram_bytes == 2160 * BRAM36_BYTES
+        assert budget.uram_bytes == 960 * URAM_BYTES
+        assert 42 * 2**20 < budget.total_bytes < 44 * 2**20
+
+    def test_split_prefers_uram(self):
+        budget = SRAMBudget(bram36_blocks=100, uram_blocks=10)
+        uram, bram = budget.split_buffer(3 * URAM_BYTES)
+        assert (uram, bram) == (3, 0)
+
+    def test_split_overflows_to_bram(self):
+        budget = SRAMBudget(bram36_blocks=100, uram_blocks=2)
+        uram, bram = budget.split_buffer(3 * URAM_BYTES)
+        assert uram == 2
+        assert bram == blocks_for(URAM_BYTES, BRAM36_BYTES)
+
+    def test_scaled(self):
+        budget = SRAMBudget(bram36_blocks=100, uram_blocks=50)
+        half = budget.scaled(0.5)
+        assert (half.bram36_blocks, half.uram_blocks) == (50, 25)
+
+    def test_scaled_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SRAMBudget(10, 10).scaled(1.5)
+
+    def test_rejects_negative_blocks(self):
+        with pytest.raises(ValueError):
+            SRAMBudget(bram36_blocks=-1, uram_blocks=0)
+
+
+class TestSRAMUsage:
+    def test_allocate_consumes_uram_first(self):
+        usage = SRAMUsage(budget=SRAMBudget(bram36_blocks=10, uram_blocks=10))
+        uram, bram = usage.allocate(2 * URAM_BYTES)
+        assert (uram, bram) == (2, 0)
+        assert usage.uram_used == 2
+        assert usage.bram36_used == 0
+
+    def test_allocate_overflow_spills_to_bram(self):
+        usage = SRAMUsage(budget=SRAMBudget(bram36_blocks=20, uram_blocks=1))
+        uram, bram = usage.allocate(2 * URAM_BYTES)
+        assert uram == 1
+        assert bram == 8  # one URAM block worth of BRAM36
+
+    def test_allocate_raises_when_full(self):
+        usage = SRAMUsage(budget=SRAMBudget(bram36_blocks=0, uram_blocks=1))
+        usage.allocate(URAM_BYTES)
+        with pytest.raises(MemoryError):
+            usage.allocate(1)
+
+    def test_can_fit_matches_allocate(self):
+        usage = SRAMUsage(budget=SRAMBudget(bram36_blocks=1, uram_blocks=1))
+        assert usage.can_fit(URAM_BYTES + BRAM36_BYTES)
+        assert not usage.can_fit(URAM_BYTES + BRAM36_BYTES + 1)
+
+    def test_utilization_fractions(self):
+        usage = SRAMUsage(budget=SRAMBudget(bram36_blocks=10, uram_blocks=4))
+        usage.allocate(2 * URAM_BYTES)
+        assert usage.uram_utilization == pytest.approx(0.5)
+        assert usage.bram_utilization == 0.0
+
+    def test_used_bytes_is_block_granular(self):
+        usage = SRAMUsage(budget=SRAMBudget(bram36_blocks=10, uram_blocks=4))
+        usage.allocate(URAM_BYTES // 2)  # half a block still occupies one
+        assert usage.used_bytes == URAM_BYTES
+
+    def test_zero_budget_utilization_is_zero(self):
+        usage = SRAMUsage(budget=SRAMBudget(bram36_blocks=0, uram_blocks=0))
+        assert usage.uram_utilization == 0.0
+        assert usage.bram_utilization == 0.0

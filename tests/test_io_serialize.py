@@ -1,0 +1,100 @@
+"""Tests for graph/allocation JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    allocation_report,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_allocation_report,
+    save_graph,
+)
+from repro.lcmm.framework import run_lcmm
+from repro.models import get_model, list_models
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, build_residual_block, build_snippet, small_accel
+
+
+class TestGraphRoundTrip:
+    @pytest.mark.parametrize("builder", [build_chain, build_snippet, build_residual_block])
+    def test_fixture_graphs_round_trip(self, builder):
+        original = builder()
+        restored = graph_from_dict(graph_to_dict(original))
+        assert restored.name == original.name
+        assert restored.schedule() == original.schedule()
+        for name in original.schedule():
+            assert restored.output_shape(name) == original.output_shape(name)
+        assert restored.total_macs() == original.total_macs()
+
+    @pytest.mark.parametrize("model_name", list_models())
+    def test_zoo_round_trips(self, model_name):
+        original = get_model(model_name)
+        restored = graph_from_dict(graph_to_dict(original))
+        assert restored.total_macs() == original.total_macs()
+        assert restored.total_weight_bytes(2) == original.total_weight_bytes(2)
+        assert restored.blocks == original.blocks
+
+    def test_dict_is_json_stable(self):
+        data = graph_to_dict(build_snippet())
+        assert json.loads(json.dumps(data)) == data
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(build_snippet(), path)
+        restored = load_graph(path)
+        assert restored.name == "snippet"
+
+    def test_unknown_version_rejected(self):
+        data = graph_to_dict(build_chain())
+        data["format"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            graph_from_dict(data)
+
+    def test_unknown_op_rejected(self):
+        data = graph_to_dict(build_chain())
+        data["layers"][1]["op"] = "hologram"
+        with pytest.raises(ValueError, match="unknown op"):
+            graph_from_dict(data)
+
+
+class TestAllocationReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        graph = build_chain(num_convs=6, channels=128, hw=14)
+        accel = small_accel(ddr_efficiency=0.05)
+        model = LatencyModel(graph, accel)
+        lcmm = run_lcmm(graph, accel, model=model)
+        return lcmm, allocation_report(lcmm)
+
+    def test_top_level_fields(self, report):
+        lcmm, data = report
+        assert data["model"] == lcmm.graph_name
+        assert data["precision"] == lcmm.accel.precision.name
+        assert data["latency_seconds"] == pytest.approx(lcmm.latency)
+
+    def test_buffer_map_complete(self, report):
+        lcmm, data = report
+        assert len(data["buffers"]) == len(lcmm.physical_buffers)
+        reported = {t for b in data["buffers"] for t in b["tensors"]}
+        assert reported == set(lcmm.onchip_tensors)
+
+    def test_prefetch_schedule_only_onchip(self, report):
+        lcmm, data = report
+        for entry in data["prefetches"]:
+            assert entry["weight"] in lcmm.onchip_tensors
+            assert entry["residual_seconds"] >= 0
+
+    def test_json_serializable(self, report):
+        _, data = report
+        assert json.loads(json.dumps(data)) == data
+
+    def test_file_write(self, tmp_path, report):
+        lcmm, _ = report
+        path = tmp_path / "alloc.json"
+        save_allocation_report(lcmm, path)
+        data = json.loads(path.read_text())
+        assert "buffers" in data

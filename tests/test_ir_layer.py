@@ -1,0 +1,183 @@
+"""Tests for repro.ir.layer."""
+
+import pytest
+
+from repro.ir.layer import (
+    Concat,
+    Conv2D,
+    EltwiseAdd,
+    FullyConnected,
+    InputLayer,
+    OpType,
+    Pooling,
+    PoolMode,
+)
+from repro.ir.tensor import FeatureMapShape
+
+
+class TestConv2D:
+    def _conv(self, **kwargs):
+        defaults = dict(name="c", inputs=("x",), out_channels=64)
+        defaults.update(kwargs)
+        return Conv2D(**defaults)
+
+    def test_same_padding_preserves_spatial(self):
+        conv = self._conv(kernel=(3, 3), padding=(1, 1))
+        out = conv.infer_output_shape([FeatureMapShape(3, 28, 28)])
+        assert (out.height, out.width) == (28, 28)
+        assert out.channels == 64
+
+    def test_stride_two_halves_spatial(self):
+        conv = self._conv(kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+        out = conv.infer_output_shape([FeatureMapShape(3, 224, 224)])
+        assert (out.height, out.width) == (112, 112)
+
+    def test_valid_padding_shrinks(self):
+        conv = self._conv(kernel=(3, 3))
+        out = conv.infer_output_shape([FeatureMapShape(3, 149, 149)])
+        assert (out.height, out.width) == (147, 147)
+
+    def test_asymmetric_kernel(self):
+        conv = self._conv(kernel=(1, 7), padding=(0, 3))
+        out = conv.infer_output_shape([FeatureMapShape(192, 17, 17)])
+        assert (out.height, out.width) == (17, 17)
+
+    def test_macs_formula(self):
+        conv = self._conv(out_channels=96, kernel=(3, 3), padding=(1, 1))
+        macs = conv.macs([FeatureMapShape(64, 28, 28)])
+        assert macs == 96 * 28 * 28 * 64 * 9
+
+    def test_weight_shape_after_inference(self):
+        conv = self._conv(kernel=(3, 3))
+        conv.infer_output_shape([FeatureMapShape(48, 28, 28)])
+        ws = conv.weight_shape
+        assert (ws.out_channels, ws.in_channels) == (64, 48)
+        assert conv.has_weights
+
+    def test_weight_shape_before_inference_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = self._conv().weight_shape
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            Conv2D(name="c", inputs=(), out_channels=64)
+        with pytest.raises(ValueError):
+            Conv2D(name="c", inputs=("a", "b"), out_channels=64)
+        with pytest.raises(ValueError):
+            self._conv(out_channels=0)
+        with pytest.raises(ValueError):
+            self._conv(kernel=(0, 3))
+
+    def test_degenerate_output_raises(self):
+        conv = self._conv(kernel=(7, 7))
+        with pytest.raises(ValueError):
+            conv.infer_output_shape([FeatureMapShape(3, 4, 4)])
+
+
+class TestPooling:
+    def test_max_pool_halves(self):
+        pool = Pooling(name="p", inputs=("x",), kernel=(2, 2), stride=(2, 2))
+        out = pool.infer_output_shape([FeatureMapShape(64, 28, 28)])
+        assert (out.channels, out.height, out.width) == (64, 14, 14)
+
+    def test_global_pool_collapses_spatial(self):
+        pool = Pooling(name="p", inputs=("x",), global_pool=True)
+        out = pool.infer_output_shape([FeatureMapShape(1536, 8, 8)])
+        assert (out.channels, out.height, out.width) == (1536, 1, 1)
+
+    def test_pool_has_no_weights(self):
+        pool = Pooling(name="p", inputs=("x",))
+        assert not pool.has_weights
+        assert pool.macs([FeatureMapShape(64, 28, 28)]) == 0
+
+    def test_modes(self):
+        assert Pooling(name="p", inputs=("x",), mode=PoolMode.AVG).mode is PoolMode.AVG
+
+
+class TestFullyConnected:
+    def test_output_shape(self):
+        fc = FullyConnected(name="fc", inputs=("x",), out_features=1000)
+        out = fc.infer_output_shape([FeatureMapShape(2048, 1, 1)])
+        assert (out.channels, out.height, out.width) == (1000, 1, 1)
+
+    def test_macs(self):
+        fc = FullyConnected(name="fc", inputs=("x",), out_features=1000)
+        assert fc.macs([FeatureMapShape(2048, 1, 1)]) == 2048 * 1000
+
+    def test_flattens_spatial_input(self):
+        fc = FullyConnected(name="fc", inputs=("x",), out_features=4096)
+        fc.infer_output_shape([FeatureMapShape(256, 6, 6)])
+        assert fc.in_features == 256 * 36
+        assert fc.weight_shape.in_channels == 256 * 36
+
+    def test_rejects_zero_features(self):
+        with pytest.raises(ValueError):
+            FullyConnected(name="fc", inputs=("x",), out_features=0)
+
+
+class TestEltwiseAdd:
+    def test_shape_passthrough(self):
+        add = EltwiseAdd(name="a", inputs=("x", "y"))
+        shape = FeatureMapShape(128, 28, 28)
+        assert add.infer_output_shape([shape, shape]) == shape
+
+    def test_mismatched_shapes_raise(self):
+        add = EltwiseAdd(name="a", inputs=("x", "y"))
+        with pytest.raises(ValueError):
+            add.infer_output_shape(
+                [FeatureMapShape(128, 28, 28), FeatureMapShape(128, 14, 14)]
+            )
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            EltwiseAdd(name="a", inputs=("x",))
+
+
+class TestConcat:
+    def test_channels_sum(self):
+        cat = Concat(name="c", inputs=("x", "y", "z"))
+        out = cat.infer_output_shape(
+            [
+                FeatureMapShape(96, 17, 17),
+                FeatureMapShape(256, 17, 17),
+                FeatureMapShape(128, 17, 17),
+            ]
+        )
+        assert (out.channels, out.height, out.width) == (480, 17, 17)
+
+    def test_mismatched_spatial_raises(self):
+        cat = Concat(name="c", inputs=("x", "y"))
+        with pytest.raises(ValueError):
+            cat.infer_output_shape(
+                [FeatureMapShape(96, 17, 17), FeatureMapShape(96, 8, 8)]
+            )
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            Concat(name="c", inputs=("x",))
+
+
+class TestInputLayer:
+    def test_shape(self):
+        layer = InputLayer(name="data", shape=FeatureMapShape(3, 224, 224))
+        assert layer.infer_output_shape([]) == FeatureMapShape(3, 224, 224)
+        assert layer.op_type is OpType.INPUT
+
+    def test_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            InputLayer(name="data", inputs=("x",))
+
+    def test_rejects_input_shapes(self):
+        layer = InputLayer(name="data")
+        with pytest.raises(ValueError):
+            layer.infer_output_shape([FeatureMapShape(3, 2, 2)])
+
+
+class TestLayerBase:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            InputLayer(name="")
+
+    def test_list_inputs_coerced_to_tuple(self):
+        add = EltwiseAdd(name="a", inputs=["x", "y"])
+        assert add.inputs == ("x", "y")

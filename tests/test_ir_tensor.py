@@ -1,0 +1,76 @@
+"""Tests for repro.ir.tensor."""
+
+import pytest
+
+from repro.ir.tensor import (
+    FeatureMapShape,
+    FeatureTensor,
+    TensorKind,
+    WeightShape,
+    WeightTensor,
+    feature_tensor_name,
+    weight_tensor_name,
+)
+
+
+class TestFeatureMapShape:
+    def test_volume(self):
+        assert FeatureMapShape(64, 28, 28).volume == 64 * 28 * 28
+
+    def test_bytes_scales_with_element_width(self):
+        shape = FeatureMapShape(3, 4, 5)
+        assert shape.bytes(1) == 60
+        assert shape.bytes(2) == 120
+        assert shape.bytes(4) == 240
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError):
+            FeatureMapShape(0, 28, 28)
+        with pytest.raises(ValueError):
+            FeatureMapShape(64, -1, 28)
+
+    def test_str(self):
+        assert str(FeatureMapShape(64, 28, 28)) == "64x28x28"
+
+
+class TestWeightShape:
+    def test_volume(self):
+        assert WeightShape(96, 64, 3, 3).volume == 96 * 64 * 9
+
+    def test_asymmetric_kernels(self):
+        # The 1x7 / 7x1 factorised convolutions of Inception-v4.
+        assert WeightShape(224, 192, 1, 7).volume == 224 * 192 * 7
+        assert WeightShape(224, 192, 7, 1).volume == 224 * 192 * 7
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError):
+            WeightShape(0, 64, 3, 3)
+
+
+class TestTensorKind:
+    def test_values_match_paper_notation(self):
+        assert TensorKind.IFMAP.value == "if"
+        assert TensorKind.WEIGHT.value == "wt"
+        assert TensorKind.OFMAP.value == "of"
+
+    def test_str(self):
+        assert str(TensorKind.WEIGHT) == "wt"
+
+
+class TestTensorIdentities:
+    def test_feature_tensor_bytes(self):
+        t = FeatureTensor(
+            name="f:c1",
+            producer="c1",
+            consumers=("c2", "c3"),
+            shape=FeatureMapShape(64, 8, 8),
+        )
+        assert t.bytes(2) == 64 * 64 * 2
+
+    def test_weight_tensor_bytes(self):
+        t = WeightTensor(name="w:c1", node="c1", shape=WeightShape(32, 16, 3, 3))
+        assert t.bytes(4) == 32 * 16 * 9 * 4
+
+    def test_canonical_names(self):
+        assert feature_tensor_name("conv1") == "f:conv1"
+        assert weight_tensor_name("conv1") == "w:conv1"

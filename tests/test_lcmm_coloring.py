@@ -1,0 +1,153 @@
+"""Tests for repro.lcmm.coloring — size-minimising buffer colouring."""
+
+import pytest
+
+from repro.lcmm.buffers import CandidateTensor, TensorClass, VirtualBuffer
+from repro.lcmm.coloring import color_buffers, total_buffer_bytes, validate_coloring
+from repro.lcmm.interference import InterferenceGraph
+from repro.lcmm.liveness import LiveRange
+
+
+def make_tensor(name, start, end, size=100, reduction=1.0):
+    return CandidateTensor(
+        name=name,
+        tensor_class=TensorClass.FEATURE,
+        size_bytes=size,
+        live_range=LiveRange(start, end),
+        affected_nodes=(name,),
+        latency_reduction=reduction,
+    )
+
+
+class TestColoring:
+    def test_disjoint_chain_shares_one_buffer(self):
+        tensors = [make_tensor(f"t{i}", 2 * i, 2 * i + 1) for i in range(5)]
+        graph = InterferenceGraph.from_tensors(tensors)
+        buffers = color_buffers(graph)
+        assert len(buffers) == 1
+        assert len(buffers[0].tensors) == 5
+
+    def test_clique_needs_one_buffer_each(self):
+        tensors = [make_tensor(f"t{i}", 0, 10) for i in range(4)]
+        graph = InterferenceGraph.from_tensors(tensors)
+        buffers = color_buffers(graph)
+        assert len(buffers) == 4
+
+    def test_buffer_size_is_largest_member(self):
+        tensors = [make_tensor("big", 0, 1, size=500), make_tensor("small", 3, 4, size=100)]
+        graph = InterferenceGraph.from_tensors(tensors)
+        (buf,) = color_buffers(graph)
+        assert buf.size_bytes == 500
+
+    def test_total_size_not_worse_than_no_sharing(self):
+        tensors = [
+            make_tensor("a", 0, 2, size=300),
+            make_tensor("b", 1, 3, size=200),
+            make_tensor("c", 4, 5, size=250),
+        ]
+        graph = InterferenceGraph.from_tensors(tensors)
+        buffers = color_buffers(graph)
+        assert total_buffer_bytes(buffers) <= 750
+        # c shares with a or b -> total is 300 + 200 = 500.
+        assert total_buffer_bytes(buffers) == 500
+
+    def test_interval_graph_uses_max_overlap_buffers(self):
+        # Max simultaneous liveness is 2 -> exactly 2 buffers.
+        tensors = [
+            make_tensor("a", 0, 4),
+            make_tensor("b", 1, 2),
+            make_tensor("c", 5, 6),
+        ]
+        buffers = color_buffers(InterferenceGraph.from_tensors(tensors))
+        assert len(buffers) == 2
+
+    def test_every_coloring_validates(self):
+        tensors = [make_tensor(f"t{i}", i % 3, i % 3 + 2, size=50 + i) for i in range(12)]
+        graph = InterferenceGraph.from_tensors(tensors)
+        buffers = color_buffers(graph)
+        validate_coloring(graph, buffers)
+
+    def test_six_tensors_fold_to_max_concurrency(self):
+        # Fig. 5-style scenario: six feature tensors with overlapping
+        # lifespans.  At most three are live at once (f1, f2, f4 during
+        # steps 0-1), so the interval colouring folds them into exactly
+        # three buffers — never more than the peak concurrency.
+        tensors = [
+            make_tensor("f1", 0, 1, size=200),
+            make_tensor("f2", 0, 2, size=200),
+            make_tensor("f4", 0, 3, size=150),
+            make_tensor("f6", 3, 4, size=100),   # shares with f1/f2's buffer
+            make_tensor("f7", 2, 4, size=120),
+            make_tensor("f8", 4, 5, size=90),
+        ]
+        graph = InterferenceGraph.from_tensors(tensors)
+        buffers = color_buffers(graph)
+        assert len(buffers) == 3
+        validate_coloring(graph, buffers)
+
+    def test_respects_false_edges(self):
+        tensors = [make_tensor("a", 0, 1, size=500), make_tensor("b", 3, 4, size=10)]
+        graph = InterferenceGraph.from_tensors(tensors)
+        graph.add_false_edge("a", "b")
+        buffers = color_buffers(graph)
+        assert len(buffers) == 2
+
+    def test_deterministic(self):
+        tensors = [make_tensor(f"t{i}", i, i + 1, size=100) for i in range(8)]
+        g1 = InterferenceGraph.from_tensors(tensors)
+        g2 = InterferenceGraph.from_tensors(tensors)
+        names1 = [b.tensor_names for b in color_buffers(g1)]
+        names2 = [b.tensor_names for b in color_buffers(g2)]
+        assert names1 == names2
+
+
+class TestValidateColoring:
+    def test_missing_tensor_detected(self):
+        tensors = [make_tensor("a", 0, 1), make_tensor("b", 5, 6)]
+        graph = InterferenceGraph.from_tensors(tensors)
+        buffers = [VirtualBuffer(index=0, tensors=[tensors[0]])]
+        with pytest.raises(ValueError, match="not assigned"):
+            validate_coloring(graph, buffers)
+
+    def test_duplicate_assignment_detected(self):
+        tensors = [make_tensor("a", 0, 1)]
+        graph = InterferenceGraph.from_tensors(tensors)
+        buffers = [
+            VirtualBuffer(index=0, tensors=[tensors[0]]),
+            VirtualBuffer(index=1, tensors=[tensors[0]]),
+        ]
+        with pytest.raises(ValueError, match="multiple"):
+            validate_coloring(graph, buffers)
+
+    def test_interfering_cohabitation_detected(self):
+        tensors = [make_tensor("a", 0, 5), make_tensor("b", 2, 3)]
+        graph = InterferenceGraph.from_tensors(tensors)
+        buffers = [VirtualBuffer(index=0, tensors=list(tensors))]
+        with pytest.raises(ValueError, match="share"):
+            validate_coloring(graph, buffers)
+
+
+class TestVirtualBuffer:
+    def test_name_convention(self):
+        buf = VirtualBuffer(index=0, tensors=[make_tensor("a", 0, 1)])
+        assert buf.name == "vbuf1"
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualBuffer(index=0, tensors=[])
+
+    def test_span_is_hull(self):
+        buf = VirtualBuffer(
+            index=0, tensors=[make_tensor("a", 1, 2), make_tensor("b", 5, 7)]
+        )
+        assert (buf.span.start, buf.span.end) == (1, 7)
+
+    def test_total_latency_reduction_sums(self):
+        buf = VirtualBuffer(
+            index=0,
+            tensors=[
+                make_tensor("a", 0, 1, reduction=0.5),
+                make_tensor("b", 3, 4, reduction=0.25),
+            ],
+        )
+        assert buf.total_latency_reduction == pytest.approx(0.75)

@@ -1,0 +1,156 @@
+"""Tests for repro.lcmm.dnnk — the knapsack allocator.
+
+The key guarantee: on instances small enough to brute-force, DNNK's
+allocation is close to the exhaustive optimum (the pivot-compensated DP is
+a heuristic, so we allow a small tolerance, but on independent-buffer
+instances it must be exactly optimal).
+"""
+
+import pytest
+
+from repro.hw.sram import URAM_BYTES
+from repro.lcmm.coloring import color_buffers
+from repro.lcmm.dnnk import dnnk_allocate, exhaustive_allocate, greedy_allocate
+from repro.lcmm.feature_reuse import feature_reuse_pass
+from repro.lcmm.interference import InterferenceGraph
+from repro.lcmm.prefetch import weight_prefetch_pass
+from repro.lcmm.splitting import combine_buffers
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, build_snippet, small_accel
+
+
+def make_buffers(model):
+    feature = feature_reuse_pass(model.graph, model)
+    prefetch = weight_prefetch_pass(model.graph, model)
+    return combine_buffers([feature.buffers, prefetch.buffers])
+
+
+@pytest.fixture
+def starved_model():
+    return LatencyModel(
+        build_chain(num_convs=6, channels=128, hw=14),
+        small_accel(ddr_efficiency=0.05),
+    )
+
+
+@pytest.fixture
+def snippet_starved():
+    return LatencyModel(build_snippet(), small_accel(ddr_efficiency=0.05))
+
+
+class TestBasicBehaviour:
+    def test_zero_capacity_allocates_nothing(self, starved_model):
+        buffers = make_buffers(starved_model)
+        result = dnnk_allocate(buffers, starved_model, 0)
+        assert result.allocated == []
+        assert result.onchip_tensors == frozenset()
+        assert result.used_bytes == 0
+
+    def test_huge_capacity_allocates_everything_useful(self, starved_model):
+        buffers = make_buffers(starved_model)
+        result = dnnk_allocate(buffers, starved_model, 10**9)
+        # Every buffer with a positive context-free exact gain is taken
+        # (second-tier buffers whose gain only materialises behind a
+        # partner may legitimately stay off even with room to spare).
+        baseline = starved_model.umm_latency()
+        for buf in buffers:
+            standalone = baseline - starved_model.total_latency(
+                frozenset(buf.tensor_names)
+            )
+            if standalone > 1e-12:
+                assert buf in result.allocated
+        # And the result must realise at least the gain of pinning
+        # absolutely everything minus pair effects.
+        everything = frozenset(n for b in buffers for n in b.tensor_names)
+        assert starved_model.total_latency(result.onchip_tensors) <= (
+            starved_model.total_latency(everything) * 1.05 + 1e-12
+        )
+
+    def test_capacity_respected(self, starved_model):
+        buffers = make_buffers(starved_model)
+        capacity = 2 * URAM_BYTES
+        result = dnnk_allocate(buffers, starved_model, capacity)
+        assert result.used_bytes <= capacity
+
+    def test_onchip_set_matches_allocated_buffers(self, starved_model):
+        buffers = make_buffers(starved_model)
+        result = dnnk_allocate(buffers, starved_model, 4 * URAM_BYTES)
+        expected = frozenset(
+            name for b in result.allocated for name in b.tensor_names
+        )
+        assert result.onchip_tensors == expected
+
+    def test_allocated_and_spilled_partition(self, starved_model):
+        buffers = make_buffers(starved_model)
+        result = dnnk_allocate(buffers, starved_model, 4 * URAM_BYTES)
+        assert len(result.allocated) + len(result.spilled) == len(buffers)
+
+    def test_allocation_reduces_exact_latency(self, starved_model):
+        buffers = make_buffers(starved_model)
+        result = dnnk_allocate(buffers, starved_model, 10 * URAM_BYTES)
+        if result.allocated:
+            assert starved_model.total_latency(result.onchip_tensors) < (
+                starved_model.umm_latency()
+            )
+
+    def test_invalid_arguments(self, starved_model):
+        with pytest.raises(ValueError):
+            dnnk_allocate([], starved_model, -1)
+        with pytest.raises(ValueError):
+            dnnk_allocate([], starved_model, 100, granularity=0)
+
+    def test_empty_buffer_list(self, starved_model):
+        result = dnnk_allocate([], starved_model, 10 * URAM_BYTES)
+        assert result.allocated == []
+        assert result.predicted_reduction == 0.0
+
+
+class TestVersusExhaustive:
+    @pytest.mark.parametrize("capacity_blocks", [1, 2, 4, 8])
+    def test_near_optimal_on_snippet(self, snippet_starved, capacity_blocks):
+        buffers = make_buffers(snippet_starved)
+        assert len(buffers) <= 20
+        capacity = capacity_blocks * URAM_BYTES
+        # Fine granularity so quantisation does not mask the comparison.
+        dp = dnnk_allocate(buffers, snippet_starved, capacity, granularity=1024)
+        opt = exhaustive_allocate(buffers, snippet_starved, capacity)
+        dp_latency = snippet_starved.total_latency(dp.onchip_tensors)
+        opt_latency = snippet_starved.total_latency(opt.onchip_tensors)
+        baseline = snippet_starved.umm_latency()
+        dp_gain = baseline - dp_latency
+        opt_gain = baseline - opt_latency
+        assert dp_gain >= 0.9 * opt_gain - 1e-12
+
+    def test_exhaustive_guard(self, starved_model):
+        buffers = make_buffers(starved_model)
+        with pytest.raises(ValueError):
+            exhaustive_allocate(buffers, starved_model, 10**9, max_buffers=1)
+
+
+class TestGreedyBaseline:
+    def test_greedy_capacity_respected(self, starved_model):
+        buffers = make_buffers(starved_model)
+        result = greedy_allocate(buffers, starved_model, 3 * URAM_BYTES)
+        assert sum(b.size_bytes for b in result.allocated) <= 3 * URAM_BYTES
+
+    def test_dnnk_never_worse_than_greedy_on_snippet(self, snippet_starved):
+        buffers = make_buffers(snippet_starved)
+        capacity = 4 * URAM_BYTES
+        dp = dnnk_allocate(buffers, snippet_starved, capacity, granularity=1024)
+        gd = greedy_allocate(buffers, snippet_starved, capacity)
+        dp_latency = snippet_starved.total_latency(dp.onchip_tensors)
+        gd_latency = snippet_starved.total_latency(gd.onchip_tensors)
+        assert dp_latency <= gd_latency * 1.05 + 1e-12
+
+
+class TestGranularity:
+    def test_coarse_granularity_rounds_sizes_up(self, starved_model):
+        buffers = make_buffers(starved_model)
+        capacity = 3 * URAM_BYTES
+        coarse = dnnk_allocate(buffers, starved_model, capacity, granularity=URAM_BYTES)
+        fine = dnnk_allocate(buffers, starved_model, capacity, granularity=1024)
+        # Finer granularity can only fit more (or equal) value in.
+        coarse_latency = starved_model.total_latency(coarse.onchip_tensors)
+        fine_latency = starved_model.total_latency(fine.onchip_tensors)
+        assert fine_latency <= coarse_latency + 1e-12

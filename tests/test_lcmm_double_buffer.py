@@ -1,0 +1,83 @@
+"""Tests for the legacy double-buffer baseline."""
+
+import pytest
+
+from repro.hw.precision import INT8
+from repro.lcmm.double_buffer import (
+    LinearityError,
+    is_linear,
+    run_double_buffer,
+)
+from repro.lcmm.framework import run_lcmm
+from repro.models import get_model
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, build_residual_block, build_snippet, small_accel
+
+
+class TestLinearity:
+    def test_chain_is_linear(self):
+        assert is_linear(build_chain())
+
+    def test_alexnet_and_vgg_are_linear(self):
+        assert is_linear(get_model("alexnet"))
+        assert is_linear(get_model("vgg16"))
+
+    def test_residual_is_not_linear(self):
+        assert not is_linear(build_residual_block())
+
+    def test_inception_is_not_linear(self):
+        assert not is_linear(build_snippet())
+
+    def test_modern_models_are_not_linear(self):
+        for name in ("resnet50", "googlenet", "inception_v4", "densenet121"):
+            assert not is_linear(get_model(name)), name
+
+
+class TestDoubleBuffer:
+    def test_keeps_all_intermediates_onchip(self):
+        graph = build_chain(num_convs=4)
+        accel = small_accel(ddr_efficiency=0.1)
+        result = run_double_buffer(graph, accel)
+        # c1..c3 outputs stay on chip; the input and final output do not.
+        assert result.onchip_tensors == {"f:c1", "f:c2", "f:c3"}
+
+    def test_buffer_sized_by_largest_feature(self):
+        graph = build_chain(num_convs=4, channels=64, hw=28)
+        accel = small_accel()
+        result = run_double_buffer(graph, accel)
+        assert result.buffer_bytes == 64 * 28 * 28  # int8
+        assert result.total_buffer_bytes == 2 * result.buffer_bytes
+
+    def test_beats_umm_when_memory_bound(self):
+        graph = build_chain(num_convs=6, channels=128, hw=14)
+        accel = small_accel(ddr_efficiency=0.05)
+        model = LatencyModel(graph, accel)
+        result = run_double_buffer(graph, accel, model)
+        assert result.latency < model.umm_latency()
+
+    def test_lcmm_at_least_matches_double_buffer_on_linear(self):
+        # On its home turf the legacy scheme is good; LCMM must not lose
+        # (it may tie when weights are the only remaining bottleneck).
+        graph = build_chain(num_convs=6, channels=128, hw=14)
+        accel = small_accel(ddr_efficiency=0.05)
+        model = LatencyModel(graph, accel)
+        db = run_double_buffer(graph, accel, model)
+        lcmm = run_lcmm(graph, accel, model=model)
+        assert lcmm.latency <= db.latency * 1.001
+
+    def test_nonlinear_graph_rejected(self):
+        with pytest.raises(LinearityError, match="not a linear chain"):
+            run_double_buffer(build_residual_block(), small_accel())
+
+    def test_oversized_features_rejected(self):
+        graph = build_chain(num_convs=3, channels=2048, hw=112)
+        accel = small_accel()
+        with pytest.raises(MemoryError):
+            run_double_buffer(graph, accel)
+
+    def test_tops_property(self):
+        graph = build_chain()
+        accel = small_accel(precision=INT8)
+        result = run_double_buffer(graph, accel)
+        assert result.tops == pytest.approx(result.throughput / 1e12)

@@ -1,0 +1,72 @@
+"""Tests for repro.lcmm.feature_reuse."""
+
+import pytest
+
+from repro.lcmm.coloring import validate_coloring
+from repro.lcmm.feature_reuse import feature_candidates, feature_reuse_pass
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, build_snippet, small_accel
+
+
+@pytest.fixture
+def model():
+    return LatencyModel(build_snippet(), small_accel(ddr_efficiency=0.05))
+
+
+class TestCandidates:
+    def test_network_input_excluded(self, model):
+        names = {c.name for c in feature_candidates(model.graph, model)}
+        assert "f:data" not in names
+
+    def test_compute_bound_tensors_excluded(self):
+        # With abundant bandwidth no tensor reduces latency -> no candidates.
+        model = LatencyModel(build_snippet(), small_accel(ddr_efficiency=1.0))
+        fast = [
+            c
+            for c in feature_candidates(model.graph, model)
+            if c.latency_reduction <= 0
+        ]
+        assert not fast
+
+    def test_candidates_carry_positive_reduction(self, model):
+        for c in feature_candidates(model.graph, model):
+            assert c.latency_reduction > 0
+
+    def test_affected_nodes_are_producer_plus_consumers(self, model):
+        cands = {c.name: c for c in feature_candidates(model.graph, model)}
+        if "f:C1" in cands:
+            assert cands["f:C1"].affected_nodes == ("C1", "C2", "C3")
+
+    def test_sizes_match_precision(self, model):
+        cands = {c.name: c for c in feature_candidates(model.graph, model)}
+        shape = model.graph.output_shape("C1")
+        if "f:C1" in cands:
+            assert cands["f:C1"].size_bytes == shape.volume  # int8
+
+
+class TestPass:
+    def test_coloring_is_valid(self, model):
+        result = feature_reuse_pass(model.graph, model)
+        if result.candidates:
+            validate_coloring(result.interference, result.buffers)
+
+    def test_sequential_graph_shares_buffers(self):
+        # A memory-starved chain: adjacent tensors interfere but tensors
+        # two steps apart share, so buffers < candidates.
+        model = LatencyModel(
+            build_chain(num_convs=6, channels=128, hw=14),
+            small_accel(ddr_efficiency=0.05),
+        )
+        result = feature_reuse_pass(model.graph, model)
+        assert len(result.candidates) >= 4
+        assert len(result.buffers) < len(result.candidates)
+        assert len(result.buffers) == 2  # interval chain needs exactly two
+
+    def test_empty_when_no_memory_bound_layers(self):
+        model = LatencyModel(build_chain(), small_accel(ddr_efficiency=1.0))
+        result = feature_reuse_pass(model.graph, model)
+        # The int8 chain at full bandwidth is compute bound everywhere.
+        assert result.buffers == [] or all(
+            c.latency_reduction > 0 for c in result.candidates
+        )

@@ -1,0 +1,92 @@
+"""Tests for repro.lcmm.liveness."""
+
+import pytest
+
+from repro.lcmm.liveness import (
+    LiveRange,
+    feature_live_ranges,
+    schedule_positions,
+)
+
+from tests.conftest import build_chain, build_residual_block, build_snippet
+
+
+class TestLiveRange:
+    def test_overlap_symmetric(self):
+        a, b = LiveRange(0, 3), LiveRange(2, 5)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_disjoint(self):
+        assert not LiveRange(0, 1).overlaps(LiveRange(2, 3))
+
+    def test_touching_endpoints_overlap(self):
+        # Closed intervals: consumed-at-k and produced-at-k interfere.
+        assert LiveRange(0, 2).overlaps(LiveRange(2, 4))
+
+    def test_containment_overlaps(self):
+        assert LiveRange(0, 10).overlaps(LiveRange(3, 4))
+
+    def test_length(self):
+        assert LiveRange(2, 5).length == 4
+        assert LiveRange(3, 3).length == 1
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            LiveRange(5, 2)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            LiveRange(-1, 2)
+
+    def test_str(self):
+        assert str(LiveRange(1, 4)) == "[1, 4]"
+
+
+class TestSchedulePositions:
+    def test_chain_positions(self):
+        pos = schedule_positions(build_chain(num_convs=3))
+        assert pos["c1"] == 0
+        assert pos["c3"] == 2
+        # Input is available before step 0.
+        assert pos["data"] == 0
+
+    def test_concat_takes_last_branch_position(self):
+        g = build_snippet()
+        pos = schedule_positions(g)
+        assert pos["cat"] == max(pos["C2"], pos["C3"])
+
+    def test_executed_nodes_get_unique_positions(self):
+        g = build_snippet()
+        pos = schedule_positions(g)
+        executed = g.compute_schedule()
+        assert sorted(pos[n] for n in executed) == list(range(len(executed)))
+
+
+class TestFeatureLiveRanges:
+    def test_chain_ranges_are_adjacent(self):
+        ranges = feature_live_ranges(build_chain(num_convs=3))
+        assert ranges["f:c1"] == LiveRange(0, 1)
+        assert ranges["f:c2"] == LiveRange(1, 2)
+
+    def test_multi_consumer_extends_range(self):
+        ranges = feature_live_ranges(build_snippet())
+        # f:C1 feeds C2 (step 1) and C3 (step 2).
+        assert ranges["f:C1"] == LiveRange(0, 2)
+
+    def test_shortcut_spans_block(self):
+        ranges = feature_live_ranges(build_residual_block())
+        # data feeds conv1 (0) and proj (3): live across the whole block.
+        assert ranges["f:data"] == LiveRange(0, 3)
+
+    def test_paper_example_disjoint_lifespans(self):
+        # Sec. 3.1: a tensor consumed before another is produced can share
+        # storage.  f:C2 dies at C4 (step 3); f:C5 is born at step 4.
+        ranges = feature_live_ranges(build_snippet())
+        assert not ranges["f:C2"].overlaps(ranges["f:C5"])
+
+    def test_every_range_starts_at_producer(self):
+        g = build_snippet()
+        pos = schedule_positions(g)
+        ranges = feature_live_ranges(g)
+        for t in g.feature_tensors():
+            assert ranges[t.name].start == pos[t.producer]

@@ -1,0 +1,101 @@
+"""Tests for repro.lcmm.prefetch — weight prefetching and the PDG."""
+
+import pytest
+
+from repro.ir.tensor import TensorKind
+from repro.lcmm.coloring import validate_coloring
+from repro.lcmm.prefetch import _prefetch_edge, weight_prefetch_pass
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, build_snippet, small_accel
+
+
+@pytest.fixture
+def starved_model():
+    return LatencyModel(
+        build_chain(num_convs=6, channels=128, hw=14),
+        small_accel(ddr_efficiency=0.05),
+    )
+
+
+class TestBacktrace:
+    def test_enough_slack_one_step_back(self):
+        schedule = ["a", "b", "c", "d"]
+        lats = [1.0, 1.0, 1.0, 1.0]
+        start, hidden = _prefetch_edge(schedule, 3, lats, load_time=0.5)
+        assert schedule[start] == "c"
+        assert hidden == pytest.approx(0.5)
+
+    def test_multi_step_backtrace(self):
+        schedule = ["a", "b", "c", "d"]
+        lats = [1.0, 1.0, 1.0, 1.0]
+        start, hidden = _prefetch_edge(schedule, 3, lats, load_time=2.5)
+        assert schedule[start] == "a"
+        assert hidden == pytest.approx(2.5)
+
+    def test_insufficient_history_partially_hides(self):
+        schedule = ["a", "b"]
+        lats = [0.5, 1.0]
+        start, hidden = _prefetch_edge(schedule, 1, lats, load_time=2.0)
+        assert start == 0
+        assert hidden == pytest.approx(0.5)
+
+    def test_first_node_has_no_hiding(self):
+        start, hidden = _prefetch_edge(["a"], 0, [1.0], load_time=1.0)
+        assert start == 0
+        assert hidden == 0.0
+
+
+class TestPass:
+    def test_only_memory_bound_weighted_nodes_get_edges(self, starved_model):
+        result = weight_prefetch_pass(starved_model.graph, starved_model)
+        bound = set(starved_model.memory_bound_nodes())
+        for node in result.edges:
+            assert node in bound
+            assert starved_model.layer(node).slot_latency(TensorKind.WEIGHT) > 0
+
+    def test_edge_timing_invariants(self, starved_model):
+        result = weight_prefetch_pass(starved_model.graph, starved_model)
+        for edge in result.edges.values():
+            assert edge.load_time > 0
+            assert 0.0 <= edge.hidden_time <= edge.load_time + 1e-12
+            assert edge.residual == pytest.approx(
+                max(0.0, edge.load_time - edge.hidden_time)
+            )
+            assert edge.fully_hidden == (edge.residual == 0.0)
+
+    def test_load_time_is_full_tensor_once(self, starved_model):
+        result = weight_prefetch_pass(starved_model.graph, starved_model)
+        bw = starved_model.accel.interface_bandwidth("wt")
+        weights = {t.node: t for t in starved_model.graph.weight_tensors()}
+        for node, edge in result.edges.items():
+            expected = weights[node].bytes(1) / bw  # int8
+            assert edge.load_time == pytest.approx(expected)
+
+    def test_live_range_covers_prefetch_span(self, starved_model):
+        result = weight_prefetch_pass(starved_model.graph, starved_model)
+        schedule = starved_model.nodes()
+        index_of = {n: i for i, n in enumerate(schedule)}
+        cands = {c.name: c for c in result.candidates}
+        for node, edge in result.edges.items():
+            rng = cands[f"w:{node}"].live_range
+            assert rng.start == index_of[edge.start]
+            assert rng.end == index_of[node]
+
+    def test_weight_buffers_share_between_disjoint_spans(self, starved_model):
+        result = weight_prefetch_pass(starved_model.graph, starved_model)
+        if len(result.candidates) >= 3:
+            assert len(result.buffers) < len(result.candidates)
+        validate_coloring(result.interference, result.buffers)
+
+    def test_compute_bound_network_has_no_edges(self):
+        model = LatencyModel(build_snippet(), small_accel(ddr_efficiency=1.0))
+        result = weight_prefetch_pass(model.graph, model)
+        for node in result.edges:
+            assert model.layer(node).is_memory_bound
+
+    def test_edge_for_lookup(self, starved_model):
+        result = weight_prefetch_pass(starved_model.graph, starved_model)
+        for node, edge in result.edges.items():
+            assert result.edge_for(node) is edge
+        assert result.edge_for("nonexistent") is None

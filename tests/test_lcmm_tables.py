@@ -1,0 +1,82 @@
+"""Tests for repro.lcmm.tables — the Fig. 7 metric tables."""
+
+import pytest
+
+from repro.ir.tensor import TensorKind
+from repro.lcmm.feature_reuse import feature_candidates, feature_reuse_pass
+from repro.lcmm.tables import (
+    latency_reduction,
+    operation_latency_table,
+    tensor_metric_table,
+    virtual_buffer_table,
+)
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, small_accel
+
+
+@pytest.fixture
+def model():
+    return LatencyModel(
+        build_chain(num_convs=4, channels=128, hw=14),
+        small_accel(ddr_efficiency=0.05),
+    )
+
+
+class TestOperationLatencyTable:
+    def test_row_per_executed_node(self, model):
+        table = operation_latency_table(model)
+        assert set(table) == set(model.nodes())
+
+    def test_row_values_match_model(self, model):
+        table = operation_latency_table(model)
+        for name, row in table.items():
+            ll = model.layer(name)
+            assert row.lat_compute == pytest.approx(ll.compute)
+            assert row.lat_ifmap == pytest.approx(ll.slot_latency(TensorKind.IFMAP))
+            assert row.lat_weight == pytest.approx(ll.slot_latency(TensorKind.WEIGHT))
+            assert row.lat_ofmap == pytest.approx(ll.slot_latency(TensorKind.OFMAP))
+
+    def test_bottleneck_identifies_max(self, model):
+        table = operation_latency_table(model)
+        for row in table.values():
+            values = {
+                "compute": row.lat_compute,
+                "if": row.lat_ifmap,
+                "wt": row.lat_weight,
+                "of": row.lat_ofmap,
+            }
+            assert values[row.bottleneck] == max(values.values())
+
+
+class TestLatencyReduction:
+    def test_exact_marginal_reduction(self, model):
+        # Removing c1's output transfer helps both c1 (of) and c2 (if).
+        reduction = latency_reduction(model, "f:c1", ("c1", "c2"))
+        expected = (
+            model.node_latency("c1")
+            - model.node_latency("c1", frozenset({"f:c1"}))
+            + model.node_latency("c2")
+            - model.node_latency("c2", frozenset({"f:c1"}))
+        )
+        assert reduction == pytest.approx(expected)
+
+    def test_zero_for_irrelevant_tensor(self, model):
+        assert latency_reduction(model, "f:ghost", ("c3",)) == pytest.approx(0.0)
+
+    def test_metric_table_mirrors_candidates(self, model):
+        candidates = feature_candidates(model.graph, model)
+        table = tensor_metric_table(model, candidates)
+        assert table == {c.name: c.latency_reduction for c in candidates}
+
+
+class TestVirtualBufferTable:
+    def test_rows_match_buffers(self, model):
+        result = feature_reuse_pass(model.graph, model)
+        rows = virtual_buffer_table(result.buffers)
+        assert len(rows) == len(result.buffers)
+        for row, buf in zip(rows, result.buffers):
+            assert row.name == buf.name
+            assert row.size_bytes == buf.size_bytes
+            assert row.tensors == tuple(buf.tensor_names)
+            assert row.start <= row.end

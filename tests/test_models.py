@@ -1,0 +1,160 @@
+"""Tests for the model zoo: structure, shapes, and known MAC counts."""
+
+import pytest
+
+from repro.ir.layer import OpType
+from repro.ir.tensor import FeatureMapShape
+from repro.models import get_model, list_models
+from repro.models.inception_v4 import INCEPTION_V4_BLOCKS
+from repro.models.googlenet import GOOGLENET_BLOCKS
+
+
+class TestZoo:
+    def test_list_models(self):
+        assert set(list_models()) == {
+            "alexnet",
+            "vgg16",
+            "googlenet",
+            "resnet50",
+            "resnet101",
+            "resnet152",
+            "inception_v4",
+            "densenet121",
+            "mobilenet_v1",
+            "squeezenet",
+        }
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("RN", "resnet152"),
+        ("gn", "googlenet"),
+        ("IN", "inception_v4"),
+        ("ResNet-50", "resnet50"),
+    ])
+    def test_aliases(self, alias, canonical):
+        assert get_model(alias).name == canonical
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model("lenet")
+
+    def test_fresh_instance_per_call(self):
+        assert get_model("alexnet") is not get_model("alexnet")
+
+    @pytest.mark.parametrize("name", list_models())
+    def test_all_models_validate(self, name):
+        get_model(name).validate()
+
+    @pytest.mark.parametrize("name", list_models())
+    def test_all_models_end_in_1000_classes(self, name):
+        g = get_model(name)
+        (sink,) = g.sinks()
+        assert g.output_shape(sink) == FeatureMapShape(1000, 1, 1)
+
+
+class TestKnownMACCounts:
+    """Published per-inference multiply-accumulate counts (batch 1)."""
+
+    @pytest.mark.parametrize(
+        "name,gmacs",
+        [
+            ("alexnet", 1.14),     # ~1.1 GMACs at 227x227
+            ("vgg16", 15.47),      # ~15.5 GMACs
+            ("googlenet", 1.58),   # ~1.6 GMACs
+            ("resnet50", 4.09),    # ~4.1 GMACs
+            ("resnet101", 7.80),   # ~7.8 GMACs
+            ("resnet152", 11.51),  # ~11.5 GMACs
+            ("densenet121", 2.85), # ~2.87 GMACs
+            ("mobilenet_v1", 0.569),  # ~569 MMACs
+            ("squeezenet", 0.777),    # ~0.8 GMACs (valid-pad stem)
+            ("inception_v4", 12.25),  # ~12.3 GMACs at 299x299
+        ],
+    )
+    def test_total_macs(self, name, gmacs):
+        assert get_model(name).total_macs() / 1e9 == pytest.approx(gmacs, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "name,params_m",
+        [
+            ("alexnet", 60.9),
+            ("vgg16", 138.3),
+            ("googlenet", 7.0),
+            ("resnet50", 25.5),
+            ("resnet101", 44.4),
+            ("resnet152", 60.1),
+            ("densenet121", 7.9),
+            ("mobilenet_v1", 4.2),
+            ("squeezenet", 1.24),
+            ("inception_v4", 42.6),
+        ],
+    )
+    def test_parameter_counts(self, name, params_m):
+        params = get_model(name).total_weight_bytes(1) / 1e6
+        assert params == pytest.approx(params_m, rel=0.07)
+
+
+class TestGoogLeNet:
+    def test_nine_inception_blocks(self):
+        g = get_model("googlenet")
+        blocks = [b for b in g.blocks if b.startswith("inception")]
+        assert tuple(blocks) == GOOGLENET_BLOCKS
+        assert len(blocks) == 9
+
+    def test_inception_3a_output_channels(self):
+        g = get_model("googlenet")
+        assert g.output_shape("inception_3a/concat").channels == 256
+
+    def test_final_feature_map(self):
+        g = get_model("googlenet")
+        assert g.output_shape("inception_5b/concat") == FeatureMapShape(1024, 7, 7)
+
+
+class TestResNet:
+    def test_resnet152_depth(self):
+        g = get_model("resnet152")
+        # 3 + 8 + 36 + 3 bottlenecks x 3 convs + stem + projections + fc.
+        convs = len(g.conv_layers())
+        assert convs == 1 + 50 * 3 + 4 + 1  # stem + bottlenecks + projections + fc
+
+    def test_eltwise_count_matches_blocks(self):
+        g = get_model("resnet152")
+        adds = [l for l in g.layers() if l.op_type is OpType.ELTWISE]
+        assert len(adds) == 50
+
+    def test_stage_shapes(self):
+        g = get_model("resnet50")
+        assert g.output_shape("res2_3/add") == FeatureMapShape(256, 56, 56)
+        assert g.output_shape("res3_4/add") == FeatureMapShape(512, 28, 28)
+        assert g.output_shape("res4_6/add") == FeatureMapShape(1024, 14, 14)
+        assert g.output_shape("res5_3/add") == FeatureMapShape(2048, 7, 7)
+
+    def test_unsupported_depth_raises(self):
+        from repro.models.resnet import build_resnet
+
+        with pytest.raises(ValueError):
+            build_resnet(18)
+
+
+class TestInceptionV4:
+    def test_fourteen_choice_blocks(self):
+        # Sec. 2.2: "Inception-v4 has 14 inception blocks in total".
+        assert len(INCEPTION_V4_BLOCKS) == 14
+        g = get_model("inception_v4")
+        for block in INCEPTION_V4_BLOCKS:
+            assert block in g.blocks
+
+    def test_stem_output(self):
+        g = get_model("inception_v4")
+        assert g.output_shape("stem/concat3") == FeatureMapShape(384, 35, 35)
+
+    def test_block_output_shapes(self):
+        g = get_model("inception_v4")
+        assert g.output_shape("inception_a4/concat") == FeatureMapShape(384, 35, 35)
+        assert g.output_shape("reduction_a/concat") == FeatureMapShape(1024, 17, 17)
+        assert g.output_shape("inception_b7/concat") == FeatureMapShape(1024, 17, 17)
+        assert g.output_shape("reduction_b/concat") == FeatureMapShape(1536, 8, 8)
+        assert g.output_shape("inception_c3/concat") == FeatureMapShape(1536, 8, 8)
+
+    def test_conv_layer_count_near_paper(self):
+        # The paper counts 141 profiled layers (82 memory bound = 58%).
+        g = get_model("inception_v4")
+        assert 140 <= len(g.conv_layers()) <= 155

@@ -1,0 +1,79 @@
+"""Tests for the DenseNet-121 builder — the liveness stress topology."""
+
+import pytest
+
+from repro.ir.tensor import FeatureMapShape
+from repro.lcmm.feature_reuse import feature_reuse_pass
+from repro.lcmm.framework import run_lcmm
+from repro.lcmm.validate import validate_buffers, validate_result
+from repro.models import get_model
+from repro.models.densenet import GROWTH_RATE
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import small_accel
+
+
+@pytest.fixture(scope="module")
+def densenet():
+    return get_model("densenet121")
+
+
+class TestStructure:
+    def test_block_channel_arithmetic(self, densenet):
+        # Block 1: 64 input + 6 layers x 32 growth = 256 channels at 56x56.
+        assert densenet.output_shape("denseblock1/concat6") == FeatureMapShape(
+            256, 56, 56
+        )
+        # Transition halves channels and spatial dims.
+        assert densenet.output_shape("transition1/pool") == FeatureMapShape(
+            128, 28, 28
+        )
+        # Final block: 512 + 16 x 32 = 1024 at 7x7.
+        assert densenet.output_shape("denseblock4/concat16") == FeatureMapShape(
+            1024, 7, 7
+        )
+
+    def test_dense_layer_reads_all_predecessors(self, densenet):
+        # Layer 6 of block 1 reads the concat of input + five layer outputs.
+        sources = densenet.feature_sources("denseblock1/layer6/1x1")
+        assert len(sources) == 6
+
+    def test_121_weighted_layers(self, densenet):
+        # The "121" counts conv + fc layers: 1 stem + 2x58 dense + 3
+        # transitions + 1 classifier = 121.
+        assert len(densenet.conv_layers()) == 121
+
+    def test_growth_rate_constant(self, densenet):
+        out = densenet.output_shape("denseblock2/layer3/3x3")
+        assert out.channels == GROWTH_RATE
+
+
+class TestLivenessStress:
+    """Dense blocks force near-clique interference — the worst case the
+    introduction warns about."""
+
+    def test_many_consumer_tensors(self, densenet):
+        tensors = {t.name: t for t in densenet.feature_tensors()}
+        # A block-1 early layer output feeds every later layer of its
+        # block (through the concats) plus the transition.
+        early = tensors["f:denseblock1/layer1/3x3"]
+        assert len(early.consumers) >= 6
+
+    def test_interference_is_dense_within_block(self):
+        graph = get_model("densenet121")
+        model = LatencyModel(graph, small_accel(ddr_efficiency=0.05))
+        result = feature_reuse_pass(graph, model)
+        # Far fewer buffers than candidates is impossible here: long
+        # overlapping lifetimes force many simultaneous buffers.
+        assert len(result.candidates) > 0
+        peak_buffers = len(result.buffers)
+        assert peak_buffers >= 8  # near-clique within a dense block
+
+    def test_full_pipeline_stays_valid(self):
+        graph = get_model("densenet121")
+        accel = small_accel(ddr_efficiency=0.2)
+        model = LatencyModel(graph, accel)
+        lcmm = run_lcmm(graph, accel, model=model)
+        validate_result(lcmm, model)
+        validate_buffers(lcmm)
+        assert lcmm.latency <= model.umm_latency()

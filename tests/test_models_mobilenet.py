@@ -1,0 +1,104 @@
+"""Tests for depthwise convolutions and MobileNetV1."""
+
+import pytest
+
+from repro.ir.layer import DepthwiseConv2D
+from repro.ir.tensor import FeatureMapShape, TensorKind
+from repro.lcmm.framework import run_lcmm
+from repro.lcmm.validate import validate_result
+from repro.models import get_model
+from repro.perf.latency import LatencyModel
+from repro.perf.roofline import RooflineModel
+
+from tests.conftest import small_accel
+
+
+class TestDepthwiseLayer:
+    def _dw(self, **kwargs):
+        defaults = dict(name="dw", inputs=("x",))
+        defaults.update(kwargs)
+        return DepthwiseConv2D(**defaults)
+
+    def test_channels_preserved(self):
+        layer = self._dw()
+        out = layer.infer_output_shape([FeatureMapShape(64, 28, 28)])
+        assert out == FeatureMapShape(64, 28, 28)
+
+    def test_stride_two(self):
+        layer = self._dw(stride=(2, 2))
+        out = layer.infer_output_shape([FeatureMapShape(32, 112, 112)])
+        assert (out.height, out.width) == (56, 56)
+
+    def test_macs_no_channel_reduction(self):
+        layer = self._dw()
+        macs = layer.macs([FeatureMapShape(64, 28, 28)])
+        assert macs == 64 * 28 * 28 * 9
+
+    def test_weight_shape_one_filter_per_channel(self):
+        layer = self._dw()
+        layer.infer_output_shape([FeatureMapShape(64, 28, 28)])
+        ws = layer.weight_shape
+        assert (ws.out_channels, ws.in_channels) == (64, 1)
+        assert ws.volume == 64 * 9
+
+    def test_weight_shape_before_inference_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = self._dw().weight_shape
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DepthwiseConv2D(name="dw", inputs=())
+        with pytest.raises(ValueError):
+            self._dw(kernel=(0, 3))
+
+
+class TestMobileNetStructure:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return get_model("mobilenet_v1")
+
+    def test_thirteen_separable_blocks(self, net):
+        dw_layers = [
+            l for l in net.layers() if isinstance(l, DepthwiseConv2D)
+        ]
+        assert len(dw_layers) == 13
+
+    def test_final_feature_map(self, net):
+        assert net.output_shape("block13/pw") == FeatureMapShape(1024, 7, 7)
+
+    def test_alias(self):
+        assert get_model("mobilenet").name == "mobilenet_v1"
+
+
+class TestMobileNetPerformance:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return LatencyModel(get_model("mobilenet_v1"), small_accel(ddr_efficiency=0.1))
+
+    def test_depthwise_layers_have_low_intensity(self, model):
+        roofline = RooflineModel(model.graph, model.accel, model)
+        dw_points = [
+            p for p in roofline.points(convs_only=True) if "/dw" in p.node
+        ]
+        pw_points = [
+            p for p in roofline.points(convs_only=True) if "/pw" in p.node
+        ]
+        avg_dw = sum(p.operation_intensity for p in dw_points) / len(dw_points)
+        avg_pw = sum(p.operation_intensity for p in pw_points) / len(pw_points)
+        assert avg_dw < avg_pw
+
+    def test_depthwise_mostly_memory_bound(self, model):
+        dw_nodes = [n for n in model.nodes() if n.endswith("/dw")]
+        bound = [n for n in dw_nodes if model.layer(n).is_memory_bound]
+        assert len(bound) >= len(dw_nodes) // 2
+
+    def test_depthwise_input_streams_once(self, model):
+        ll = model.layer("block3/dw")
+        if_slot = next(s for s in ll.slots if s.kind is TensorKind.IFMAP)
+        in_shape = model.graph.output_shape("block2/pw")
+        assert if_slot.bytes == in_shape.volume  # int8, no reload factor
+
+    def test_lcmm_pipeline_on_mobilenet(self, model):
+        lcmm = run_lcmm(model.graph, model.accel, model=model)
+        validate_result(lcmm, model)
+        assert lcmm.latency < model.umm_latency()

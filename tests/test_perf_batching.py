@@ -1,0 +1,91 @@
+"""Tests for steady-state batched inference."""
+
+import pytest
+
+from repro.lcmm.framework import run_lcmm
+from repro.perf.batching import (
+    batched_latency,
+    persistent_weight_tensors,
+    umm_batched_latency,
+)
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_chain, small_accel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = build_chain(num_convs=6, channels=128, hw=14)
+    accel = small_accel(ddr_efficiency=0.05)
+    model = LatencyModel(graph, accel)
+    lcmm = run_lcmm(graph, accel, model=model)
+    return model, lcmm
+
+
+class TestBatchedLatency:
+    def test_first_image_is_single_image_latency(self, setup):
+        model, lcmm = setup
+        batch = batched_latency(model, lcmm, 4)
+        assert batch.first_image_latency == pytest.approx(lcmm.latency)
+
+    def test_steady_state_not_slower_than_first(self, setup):
+        model, lcmm = setup
+        batch = batched_latency(model, lcmm, 4)
+        assert batch.steady_image_latency <= batch.first_image_latency + 1e-15
+
+    def test_total_composition(self, setup):
+        model, lcmm = setup
+        batch = batched_latency(model, lcmm, 5)
+        assert batch.total_latency == pytest.approx(
+            batch.first_image_latency + 4 * batch.steady_image_latency
+        )
+
+    def test_amortized_converges_to_steady(self, setup):
+        model, lcmm = setup
+        big = batched_latency(model, lcmm, 1000)
+        assert big.amortized_latency == pytest.approx(
+            big.steady_image_latency, rel=0.01
+        )
+
+    def test_images_per_second(self, setup):
+        model, lcmm = setup
+        batch = batched_latency(model, lcmm, 2)
+        assert batch.images_per_second == pytest.approx(
+            1.0 / batch.steady_image_latency
+        )
+
+    def test_batch_of_one(self, setup):
+        model, lcmm = setup
+        batch = batched_latency(model, lcmm, 1)
+        assert batch.total_latency == pytest.approx(batch.first_image_latency)
+
+    def test_invalid_batch_rejected(self, setup):
+        model, lcmm = setup
+        with pytest.raises(ValueError):
+            batched_latency(model, lcmm, 0)
+        with pytest.raises(ValueError):
+            umm_batched_latency(model, -3)
+
+
+class TestPersistence:
+    def test_persistent_weights_are_exclusive_buffers(self, setup):
+        _, lcmm = setup
+        persistent = persistent_weight_tensors(lcmm)
+        owners = {
+            pbuf.tensor_names[0]: len(pbuf.tensor_names)
+            for pbuf in lcmm.physical_buffers
+            if pbuf.tensor_names[0] in persistent
+        }
+        assert all(count == 1 for count in owners.values())
+
+    def test_umm_has_no_state(self, setup):
+        model, _ = setup
+        batch = umm_batched_latency(model, 7)
+        assert batch.first_image_latency == batch.steady_image_latency
+        assert batch.total_latency == pytest.approx(7 * model.umm_latency())
+
+    def test_lcmm_steady_state_beats_umm(self, setup):
+        model, lcmm = setup
+        lcmm_batch = batched_latency(model, lcmm, 16)
+        umm_batch = umm_batched_latency(model, 16)
+        assert lcmm_batch.total_latency < umm_batch.total_latency

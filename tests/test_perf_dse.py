@@ -1,0 +1,58 @@
+"""Tests for repro.perf.dse."""
+
+import pytest
+
+from repro.perf.dse import best_design, candidate_tiles, explore_designs
+from repro.perf.tiling import TileConfig
+
+from tests.conftest import build_chain, small_accel
+
+
+class TestCandidates:
+    def test_default_candidates_cover_grid(self):
+        tiles = candidate_tiles()
+        assert len(tiles) == 4 * 3 * 4
+        assert TileConfig(32, 32, 14, 14) in tiles
+
+    def test_custom_grid(self):
+        tiles = candidate_tiles(tm_values=(8,), tn_values=(8,), spatial_values=(7,))
+        assert tiles == [TileConfig(8, 8, 7, 7)]
+
+
+class TestExplore:
+    def test_results_sorted_by_latency(self):
+        points = explore_designs(build_chain(), small_accel(), 10 * 2**20)
+        latencies = [p.umm_latency for p in points]
+        assert latencies == sorted(latencies)
+
+    def test_budget_excludes_large_tiles(self):
+        tight = explore_designs(build_chain(), small_accel(), 64 * 1024)
+        for p in tight:
+            assert p.tile_buffer_bytes <= 64 * 1024
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="no tile configuration"):
+            explore_designs(build_chain(), small_accel(), 16)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            explore_designs(build_chain(), small_accel(), 0)
+
+    def test_best_design_beats_or_ties_all(self):
+        g = build_chain()
+        base = small_accel()
+        budget = 1 * 2**20
+        best = best_design(g, base, budget)
+        points = explore_designs(g, base, budget)
+        assert best.tile == points[0].accel.tile
+
+    def test_explicit_tile_list(self):
+        tiles = [TileConfig(8, 8, 7, 7), TileConfig(16, 16, 14, 14)]
+        points = explore_designs(build_chain(), small_accel(), 10 * 2**20, tiles=tiles)
+        assert {p.accel.tile for p in points} == set(tiles)
+
+    def test_base_caps_preserved(self):
+        base = small_accel(if_resident_cap=4096, wt_resident_cap=8192)
+        points = explore_designs(build_chain(), base, 10 * 2**20)
+        assert points[0].accel.if_resident_cap == 4096
+        assert points[0].accel.wt_resident_cap == 8192

@@ -1,0 +1,76 @@
+"""Tests for repro.perf.roofline."""
+
+import pytest
+
+from repro.perf.roofline import RooflineModel
+
+from tests.conftest import build_chain, build_snippet, small_accel
+
+
+@pytest.fixture
+def roofline():
+    return RooflineModel(build_snippet(), small_accel())
+
+
+class TestRoofs:
+    def test_compute_roof_is_peak(self, roofline):
+        assert roofline.compute_roof == roofline.accel.peak_ops
+
+    def test_ridge_point(self, roofline):
+        ridge = roofline.ridge_point()
+        assert roofline.attainable(ridge) == pytest.approx(roofline.compute_roof)
+
+    def test_attainable_below_ridge_is_bandwidth_limited(self, roofline):
+        oi = roofline.ridge_point() / 2
+        assert roofline.attainable(oi) == pytest.approx(
+            oi * roofline.interface_bandwidth
+        )
+
+    def test_attainable_above_ridge_is_compute_limited(self, roofline):
+        assert roofline.attainable(roofline.ridge_point() * 10) == pytest.approx(
+            roofline.compute_roof
+        )
+
+    def test_attainable_rejects_negative(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.attainable(-1.0)
+
+
+class TestPoints:
+    def test_every_executed_layer_has_a_point(self, roofline):
+        points = roofline.points()
+        assert len(points) == len(roofline.model.nodes())
+
+    def test_convs_only_filter(self, roofline):
+        points = roofline.points(convs_only=True)
+        assert {p.node for p in points} == set(roofline.graph.conv_layers())
+
+    def test_operation_intensity_positive(self, roofline):
+        for p in roofline.points():
+            assert p.operation_intensity > 0
+
+    def test_achieved_never_exceeds_attainable(self, roofline):
+        for p in roofline.points(convs_only=True):
+            # Attainable uses the single-interface roof; achieved can use
+            # all three interfaces, so allow a 3x margin.
+            assert p.achieved_ops <= 3 * p.attainable_ops + 1e-6
+
+    def test_memory_bound_flag_matches_model(self, roofline):
+        for p in roofline.points():
+            assert p.memory_bound == roofline.model.layer(p.node).is_memory_bound
+
+
+class TestCounts:
+    def test_count_consistency(self, roofline):
+        bound, total = roofline.memory_bound_count()
+        assert 0 <= bound <= total
+        assert roofline.memory_bound_fraction() == pytest.approx(bound / total)
+
+    def test_bandwidth_starved_chain_is_memory_bound(self):
+        # 1x1 convs on tiny compute with crippled DDR: all memory bound.
+        model = RooflineModel(
+            build_chain(num_convs=3, channels=256, hw=7),
+            small_accel(ddr_efficiency=0.01),
+        )
+        bound, total = model.memory_bound_count(convs_only=True)
+        assert bound == total

@@ -1,0 +1,98 @@
+"""Tests for repro.perf.systolic."""
+
+import pytest
+
+from repro.hw.fpga import VU9P
+from repro.hw.precision import FP32, INT8, INT16
+from repro.perf.systolic import (
+    AcceleratorConfig,
+    SystolicArray,
+    default_accelerator,
+)
+from repro.perf.tiling import TileConfig
+
+
+class TestSystolicArray:
+    def test_mac_count(self):
+        assert SystolicArray(rows=32, cols=16, simd=11).macs == 5632
+
+    def test_dsp_slices_scale_with_precision(self):
+        array = SystolicArray(rows=16, cols=8, simd=8)
+        assert array.dsp_slices(INT8) == 1024
+        assert array.dsp_slices(FP32) == 5120
+
+    def test_effective_macs_full_when_divisible(self):
+        array = SystolicArray(rows=32, cols=16, simd=11)
+        assert array.effective_macs(64, 22) == pytest.approx(array.macs)
+
+    def test_effective_macs_penalises_padding(self):
+        array = SystolicArray(rows=32, cols=16, simd=16)
+        # 48 output channels pad to 64 -> 75% row occupancy.
+        assert array.effective_macs(48, 32) == pytest.approx(array.macs * 0.75)
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ValueError):
+            SystolicArray(rows=0, cols=8, simd=8)
+
+    def test_str(self):
+        assert str(SystolicArray(32, 16, 11)) == "32x16x11"
+
+
+class TestAcceleratorConfig:
+    def test_peak_ops(self):
+        accel = default_accelerator(INT8, frequency=190e6)
+        assert accel.peak_ops == pytest.approx(2 * 5632 * 190e6)
+
+    def test_dsp_utilization_matches_paper(self):
+        # Tab. 1 reports 83% DSP for the fixed-point RN/GN designs.
+        accel = default_accelerator(INT16)
+        assert accel.dsp_utilization == pytest.approx(0.823, abs=0.01)
+
+    def test_fp32_array_is_smaller(self):
+        accel = default_accelerator(FP32)
+        assert accel.array.macs < default_accelerator(INT8).array.macs
+        assert accel.array.dsp_slices(FP32) <= VU9P.dsp_slices
+
+    def test_oversized_array_rejected(self):
+        with pytest.raises(ValueError, match="DSPs"):
+            AcceleratorConfig(
+                name="too-big",
+                precision=FP32,
+                array=SystolicArray(rows=64, cols=32, simd=11),
+                tile=TileConfig(16, 16, 7, 7),
+                frequency=200e6,
+            )
+
+    def test_ddr_defaults_to_vu9p_split(self):
+        accel = default_accelerator(INT8)
+        assert accel.interface_bandwidth("if") == pytest.approx(25.6e9)
+
+    def test_ddr_efficiency_scales_bandwidth(self):
+        accel = default_accelerator(INT8, ddr_efficiency=0.5)
+        assert accel.interface_bandwidth("wt") == pytest.approx(12.8e9)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            default_accelerator(INT8, ddr_efficiency=0.0)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            default_accelerator(INT8, frequency=0)
+
+    def test_tile_buffer_bytes_includes_residency(self):
+        plain = default_accelerator(INT8)
+        capped = default_accelerator(
+            INT8, if_resident_cap=64 * 1024, wt_resident_cap=128 * 1024
+        )
+        assert capped.tile_buffer_bytes() == plain.tile_buffer_bytes() + 2 * (
+            64 * 1024 + 128 * 1024
+        )
+
+    def test_default_tiles_vary_by_precision(self):
+        assert default_accelerator(FP32).tile != default_accelerator(INT8).tile
+
+    def test_unknown_precision_raises(self):
+        from repro.hw.precision import Precision
+
+        with pytest.raises(KeyError):
+            default_accelerator(Precision(name="int4", bits=8, dsps_per_mac=1))

@@ -1,0 +1,68 @@
+"""Tests for repro.perf.tiling."""
+
+import pytest
+
+from repro.perf.tiling import TileConfig
+
+
+class TestTripCounts:
+    def test_exact_division(self):
+        tile = TileConfig(tm=32, tn=32, th=14, tw=14)
+        assert tile.output_channel_trips(64) == 2
+        assert tile.spatial_trips(28, 28) == 4
+
+    def test_ceiling_division(self):
+        tile = TileConfig(tm=32, tn=32, th=14, tw=14)
+        assert tile.output_channel_trips(33) == 2
+        assert tile.output_channel_trips(96) == 3
+        assert tile.spatial_trips(17, 17) == 4
+
+    def test_tile_larger_than_dim(self):
+        tile = TileConfig(tm=128, tn=32, th=56, tw=56)
+        assert tile.output_channel_trips(64) == 1
+        assert tile.spatial_trips(7, 7) == 1
+
+
+class TestTileBuffers:
+    def test_ifmap_halo(self):
+        tile = TileConfig(tm=32, tn=16, th=14, tw=14)
+        # 3x3 stride 1: halo of kernel-1 on each spatial axis.
+        assert tile.ifmap_tile_elems((3, 3), (1, 1)) == 16 * 16 * 16
+
+    def test_ifmap_halo_with_stride(self):
+        tile = TileConfig(tm=32, tn=16, th=14, tw=14)
+        # Stride 2, kernel 3: input extent = 14*2 + 3 - 2 = 29.
+        assert tile.ifmap_tile_elems((3, 3), (2, 2)) == 16 * 29 * 29
+
+    def test_asymmetric_kernel_halo(self):
+        tile = TileConfig(tm=32, tn=16, th=14, tw=14)
+        # 1x7 kernel: no vertical halo, 6 columns of horizontal halo.
+        assert tile.ifmap_tile_elems((1, 7), (1, 1)) == 16 * 14 * 20
+
+    def test_weight_tile(self):
+        tile = TileConfig(tm=32, tn=16, th=14, tw=14)
+        assert tile.weight_tile_elems((3, 3)) == 32 * 16 * 9
+
+    def test_ofmap_tile(self):
+        tile = TileConfig(tm=32, tn=16, th=14, tw=14)
+        assert tile.ofmap_tile_elems() == 32 * 14 * 14
+
+    def test_double_buffering_doubles_bytes(self):
+        tile = TileConfig(tm=32, tn=16, th=14, tw=14)
+        single = tile.tile_buffer_bytes(1, double_buffered=False)
+        assert tile.tile_buffer_bytes(1) == 2 * single
+
+    def test_bytes_scale_with_element_width(self):
+        tile = TileConfig(tm=32, tn=16, th=14, tw=14)
+        assert tile.tile_buffer_bytes(2) == 2 * tile.tile_buffer_bytes(1)
+
+
+class TestValidation:
+    def test_rejects_non_positive_tiles(self):
+        with pytest.raises(ValueError):
+            TileConfig(tm=0, tn=16, th=14, tw=14)
+        with pytest.raises(ValueError):
+            TileConfig(tm=16, tn=16, th=-1, tw=14)
+
+    def test_str(self):
+        assert str(TileConfig(32, 16, 14, 7)) == "(tm=32, tn=16, th=14, tw=7)"
