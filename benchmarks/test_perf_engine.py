@@ -1,0 +1,129 @@
+"""Bench: the incremental evaluation engine vs the naive hot path.
+
+Times the two acceptance workloads of the engine work and writes the
+results to ``BENCH_engine.json`` at the repo root:
+
+* ``run_lcmm`` on GoogLeNet with the engine off vs on (same prebuilt
+  graph and latency model, timing the pipeline only);
+* a 64-point tile DSE sweep, old per-tile ``LatencyModel`` scoring vs
+  ``explore_designs`` (sweep scorer, ``workers=4``).
+
+Both comparisons are exact-result-identical by construction (asserted
+here and bit-for-bit in the tier-1 suite); this file measures only wall
+time and evaluation counts.  Set ``BENCH_SMOKE=1`` to cut repeats for CI
+smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.experiments import reference_design
+from repro.hw.precision import INT8, INT16
+from repro.lcmm.framework import LCMMOptions, run_lcmm
+from repro.models import get_model
+from repro.perf.dse import _configure, candidate_tiles, explore_designs
+from repro.perf.latency import LatencyModel
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+_REPEATS = 2 if os.environ.get("BENCH_SMOKE") else 5
+
+
+def _best_of(fn, repeats: int = _REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if _RESULT_PATH.exists():
+        data = json.loads(_RESULT_PATH.read_text())
+    data[section] = payload
+    _RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_run_lcmm_engine_speedup():
+    graph = get_model("googlenet")
+    accel = reference_design("googlenet", INT8, "lcmm")
+    model = LatencyModel(graph, accel)
+    naive_opts = LCMMOptions(use_engine=False)
+    engine_opts = LCMMOptions(use_engine=True)
+
+    naive = run_lcmm(graph, accel, options=naive_opts, model=model)
+    fast = run_lcmm(graph, accel, options=engine_opts, model=model)
+    assert fast.latency == naive.latency
+    assert fast.onchip_tensors == naive.onchip_tensors
+
+    naive_s = _best_of(lambda: run_lcmm(graph, accel, options=naive_opts, model=model))
+    engine_s = _best_of(lambda: run_lcmm(graph, accel, options=engine_opts, model=model))
+    speedup = naive_s / engine_s
+    stats = fast.engine_stats
+    _record(
+        "run_lcmm_googlenet",
+        {
+            "naive_seconds": naive_s,
+            "engine_seconds": engine_s,
+            "speedup": speedup,
+            "engine_stats": stats.as_dict() if stats else None,
+        },
+    )
+    print(
+        f"\nrun_lcmm googlenet: naive {naive_s * 1e3:.2f} ms, "
+        f"engine {engine_s * 1e3:.2f} ms ({speedup:.2f}x)"
+    )
+    assert speedup >= 3.0
+
+
+def test_dse_sweep_speedup():
+    graph = get_model("inception_v4")
+    base = reference_design("inception_v4", INT16, "lcmm")
+    tiles = candidate_tiles(tn_values=(16, 32, 64, 128))
+    assert len(tiles) == 64
+    budget = 8 * 2**20
+
+    def old_sweep():
+        feasible = [
+            t for t in tiles if t.tile_buffer_bytes(base.precision.bytes) <= budget
+        ]
+        return {
+            t: LatencyModel(graph, _configure(base, t)).umm_latency()
+            for t in feasible
+        }
+
+    def new_sweep():
+        return explore_designs(graph, base, budget, tiles=tiles, workers=4)
+
+    old_scores = old_sweep()
+    new_points = new_sweep()
+    assert len(new_points) == len(old_scores)
+    for point in new_points:
+        assert point.umm_latency == old_scores[point.accel.tile]
+
+    old_s = _best_of(old_sweep)
+    new_s = _best_of(new_sweep)
+    serial_s = _best_of(lambda: explore_designs(graph, base, budget, tiles=tiles))
+    speedup = old_s / new_s
+    _record(
+        "dse_sweep_64pt_inception_v4",
+        {
+            "points": len(new_points),
+            "old_seconds": old_s,
+            "new_seconds_workers4": new_s,
+            "new_seconds_workers1": serial_s,
+            "speedup_workers4": speedup,
+            "speedup_workers1": old_s / serial_s,
+        },
+    )
+    print(
+        f"\ndse sweep ({len(new_points)} pts): old {old_s * 1e3:.2f} ms, "
+        f"new(w=4) {new_s * 1e3:.2f} ms ({speedup:.2f}x), "
+        f"new(w=1) {serial_s * 1e3:.2f} ms ({old_s / serial_s:.2f}x)"
+    )
+    assert speedup >= 2.0

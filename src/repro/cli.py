@@ -169,6 +169,21 @@ def _cmd_run(args: argparse.Namespace) -> None:
           f"(URAM {cmp.lcmm.sram_usage.uram_utilization:.0%}, "
           f"BRAM {cmp.lcmm.sram_usage.bram_utilization:.0%})")
     print(f"POL:  {cmp.lcmm.percentage_onchip_layers(cmp.lcmm_model):.0%}")
+    if args.profile_passes:
+        stats = cmp.lcmm.engine_stats
+        if stats is None:
+            print("\n(no engine stats: the evaluation engine was disabled)")
+            return
+        print("\nEvaluation engine profile:")
+        for name, seconds in stats.pass_seconds.items():
+            print(f"  {name:16s} {seconds * 1e3:9.3f} ms")
+        print(f"  node evaluations: {stats.node_evaluations}")
+        print(f"  full rescores:    {stats.full_rescores}")
+        print(f"  applies/undos:    {stats.applies}/{stats.undos}")
+        hits, misses = stats.gain_cache_hits, stats.gain_cache_misses
+        total = hits + misses
+        rate = hits / total if total else 0.0
+        print(f"  gain cache:       {hits}/{total} hits ({rate:.0%})")
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
@@ -301,6 +316,30 @@ def _cmd_dot(args: argparse.Namespace) -> None:
     print(f"Wrote {args.view} DOT for {graph.name} to {args.output}")
 
 
+def _cmd_dse(args: argparse.Namespace) -> None:
+    from repro.perf.dse import explore_designs
+
+    graph = get_model(args.model)
+    base = reference_design(
+        args.model if args.model in BENCHMARKS else "resnet152",
+        precision_by_name(args.precision),
+        "lcmm",
+    )
+    budget = int(args.budget * 2**20)
+    points = explore_designs(graph, base, budget, workers=args.workers)
+    print(
+        f"Tile DSE on {graph.name} ({args.precision}), "
+        f"{args.budget:.1f} MB tile-buffer budget, "
+        f"{len(points)} feasible points, workers={args.workers}:"
+    )
+    for point in points[: args.top]:
+        print(
+            f"  {str(point.accel.tile):28s} "
+            f"UMM {point.umm_latency * 1e3:8.3f} ms  "
+            f"tile buffers {point.tile_buffer_bytes / 2**20:5.2f} MB"
+        )
+
+
 def _cmd_cotune(args: argparse.Namespace) -> None:
     from repro.lcmm.cotuning import cotune
 
@@ -350,6 +389,11 @@ def build_parser() -> argparse.ArgumentParser:
     prun = sub.add_parser("run", help="one design pair in detail")
     prun.add_argument("model", choices=list(BENCHMARKS) + ["resnet50", "alexnet", "vgg16"])
     prun.add_argument("--precision", default="int8")
+    prun.add_argument(
+        "--profile-passes",
+        action="store_true",
+        help="print per-pass wall time and evaluation-engine counters",
+    )
     prun.set_defaults(func=_cmd_run)
 
     psweep = sub.add_parser("sweep", help="speedup vs on-chip memory budget")
@@ -384,6 +428,18 @@ def build_parser() -> argparse.ArgumentParser:
     preport = sub.add_parser("report", help="regenerate the full markdown report")
     preport.add_argument("-o", "--output", default="experiment_report.md")
     preport.set_defaults(func=_cmd_report)
+
+    pdse = sub.add_parser("dse", help="tile design-space sweep by UMM latency")
+    pdse.add_argument("model")
+    pdse.add_argument("--precision", default="int8")
+    pdse.add_argument(
+        "--budget", type=float, default=8.0, help="tile-buffer budget in MB"
+    )
+    pdse.add_argument(
+        "--workers", type=int, default=1, help="process count for the scoring sweep"
+    )
+    pdse.add_argument("--top", type=int, default=10, help="design points to print")
+    pdse.set_defaults(func=_cmd_dse)
 
     pcotune = sub.add_parser("cotune", help="tile/allocation co-tuning sweep")
     pcotune.add_argument("model", choices=list(BENCHMARKS))

@@ -33,21 +33,28 @@ def color_buffers(graph: InterferenceGraph) -> list[VirtualBuffer]:
         graph.tensors.values(), key=lambda t: (-t.size_bytes, t.name)
     )
     classes: list[list[CandidateTensor]] = []
+    # Member-name sets alongside the classes: compatibility is one set
+    # disjointness test against the tensor's neighbourhood instead of a
+    # per-member interference probe.
+    class_names: list[set[str]] = []
     for tensor in ordered:
-        best_class = None
+        adjacent = graph.neighbors(tensor.name)
+        best_class = -1
         best_occupancy = -1
-        for cls in classes:
-            if any(graph.interferes(tensor.name, member.name) for member in cls):
+        for idx, names in enumerate(class_names):
+            if not adjacent.isdisjoint(names):
                 continue
             # Prefer the fullest compatible class; the first (largest)
             # member fixed the class size, so joining is free.
-            if len(cls) > best_occupancy:
-                best_class = cls
-                best_occupancy = len(cls)
-        if best_class is None:
+            if len(names) > best_occupancy:
+                best_class = idx
+                best_occupancy = len(names)
+        if best_class < 0:
             classes.append([tensor])
+            class_names.append({tensor.name})
         else:
-            best_class.append(tensor)
+            classes[best_class].append(tensor)
+            class_names[best_class].add(tensor.name)
     buffers = [
         VirtualBuffer(index=idx, tensors=members)
         for idx, members in enumerate(classes)

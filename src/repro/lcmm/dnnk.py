@@ -20,6 +20,16 @@ input tensors.  Because the column context is an approximation of the true
 knapsack path, the final allocation is always re-scored with the exact
 Eq. 1 evaluator; tests compare DNNK against exhaustive search on small
 instances.
+
+Two interchangeable gain evaluators back the allocators:
+
+* :class:`_GainEvaluator` — the naive oracle, querying the latency model
+  through frozensets per node.  Kept bit-for-bit as the reference.
+* :class:`_EngineGainEvaluator` — the hot path, reading the flattened
+  slot arrays of a :class:`repro.perf.engine.AllocationEngine` so a node
+  query is one pass over small int/float tuples.  Pass ``engine=`` to any
+  allocator to select it; results are exactly equal to the oracle's
+  because both compute identical per-node sums in identical order.
 """
 
 from __future__ import annotations
@@ -31,7 +41,13 @@ from dataclasses import dataclass, field
 from repro.hw.sram import URAM_BYTES
 from repro.ir.tensor import TensorKind
 from repro.lcmm.buffers import VirtualBuffer
+from repro.perf.engine import AllocationEngine
 from repro.perf.latency import LatencyModel
+
+try:  # pragma: no cover - exercised implicitly everywhere numpy exists
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 @dataclass
@@ -42,11 +58,13 @@ class DNNKResult:
         allocated: Virtual buffers granted on-chip memory, in input order.
         spilled: Virtual buffers left in DDR.
         onchip_tensors: All tensor values resident on chip.
-        predicted_reduction: The DP objective value (approximate — the
-            column-context gains; re-score with the latency model for
-            exact numbers).
+        predicted_reduction: Exact Eq. 1 reduction of the final chosen
+            set versus the empty allocation (re-scored after every
+            refinement, so local-search moves are reflected).
         capacity_bytes: The capacity the run was given.
-        used_bytes: Summed size of the allocated buffers.
+        used_bytes: Block-rounded consumption of the allocated buffers —
+            each buffer occupies whole capacity quanta, exactly as the DP
+            accounts for it.
     """
 
     allocated: list[VirtualBuffer]
@@ -64,6 +82,10 @@ class _GainEvaluator:
     capacity column.  Gains are memoised per buffer on the *relevant*
     sub-mask — the context bits belonging to buffers that touch the same
     nodes — so repeated columns with identical local context hit the cache.
+
+    This is the naive oracle: every node query rebuilds the resident
+    frozenset and walks the latency model.  The engine-backed evaluator
+    below reproduces its results bit-for-bit from flattened arrays.
     """
 
     def __init__(self, model: LatencyModel, buffers: list[VirtualBuffer]) -> None:
@@ -74,9 +96,6 @@ class _GainEvaluator:
         for idx, buf in enumerate(buffers):
             for t in buf.tensors:
                 self._tensor_buffer[t.name] = idx
-        # node -> (compute, tuple of (kind, tensor, latency)) restricted to
-        # slots whose tensor is a candidate (others never change state).
-        self._node_info: dict[str, tuple[float, tuple, float]] = {}
         # buffer index -> nodes it affects.
         self._affected: list[tuple[str, ...]] = []
         # buffer index -> bitmask of buffer indices sharing a node with it.
@@ -116,21 +135,51 @@ class _GainEvaluator:
         """Exact Eq. 1 latency of one node given a buffer bitmask."""
         return self._node_latency(node, frozenset(self._context_tensors(node, context_mask)))
 
+    def _affected_union(self, indices: tuple[int, ...]) -> list[str]:
+        affected: set[str] = set()
+        for i in indices:
+            affected.update(self._affected[i])
+        return sorted(affected)
+
     def move_delta(self, context_mask: int, add: int | None, drop: int | None) -> float:
         """Exact latency change of adding/dropping buffers (negative = better)."""
         new_mask = context_mask
-        affected: set[str] = set()
+        indices = []
         if drop is not None:
             new_mask &= ~(1 << drop)
-            affected.update(self._affected[drop])
+            indices.append(drop)
         if add is not None:
             new_mask |= 1 << add
-            affected.update(self._affected[add])
+            indices.append(add)
         delta = 0.0
-        for node in affected:
+        for node in self._affected_union(tuple(indices)):
             delta += self.node_latency_under_mask(node, new_mask)
             delta -= self.node_latency_under_mask(node, context_mask)
         return delta
+
+    def pair_delta(self, context_mask: int, a: int, b: int) -> float:
+        """Exact latency change of adding buffers ``a`` and ``b`` together."""
+        trial = (context_mask | 1 << a) | 1 << b
+        delta = 0.0
+        for node in self._affected_union((a, b)):
+            delta += self.node_latency_under_mask(node, trial)
+            delta -= self.node_latency_under_mask(node, context_mask)
+        return delta
+
+    def exchange_delta(self, context_mask: int, inc: int, evict: list[int]) -> float:
+        """Exact latency change of adding ``inc`` while evicting ``evict``."""
+        trial = context_mask | 1 << inc
+        for out in evict:
+            trial &= ~(1 << out)
+        delta = 0.0
+        for node in self._affected_union((inc, *evict)):
+            delta += self.node_latency_under_mask(node, trial)
+            delta -= self.node_latency_under_mask(node, context_mask)
+        return delta
+
+    def relevant_pair(self, a: int, b: int) -> bool:
+        """Whether two buffers share a node (can be complementary)."""
+        return bool(self._relevant_mask[a] >> b & 1)
 
     def gain(self, buffer_index: int, context_mask: int) -> float:
         """Marginal latency reduction of taking ``buffer_index``.
@@ -153,12 +202,232 @@ class _GainEvaluator:
         self._cache[buffer_index][key] = total
         return total
 
+    def total_latency(self, chosen: set[int]) -> float:
+        """Exact end-to-end latency with a chosen buffer set on chip."""
+        onchip = frozenset(
+            name for i in chosen for name in self._buffers[i].tensor_names
+        )
+        return self._model.total_latency(onchip)
+
+
+class _EngineGainEvaluator:
+    """Engine-backed gain evaluator — the allocators' hot path.
+
+    Reads the flattened per-node slot arrays of an
+    :class:`AllocationEngine` (never its mutable state: DNNK evaluates
+    allocations without residuals or fractions, exactly like the naive
+    evaluator) and binds each candidate slot to the virtual buffer holding
+    its tensor.  A node query is then one pass over small tuples; the
+    per-kind sums accumulate in the same slot order as
+    ``LayerLatency.slot_latency`` and per-buffer node iteration follows
+    the naive evaluator's name-sorted order, so every gain, delta and
+    total is bit-for-bit equal to the oracle's.
+    """
+
+    def __init__(self, engine: AllocationEngine, buffers: list[VirtualBuffer]) -> None:
+        self._engine = engine
+        self._buffers = buffers
+        node_index = engine.node_index
+        node_names = engine.node_names
+        self._by_name = node_names.__getitem__
+
+        tid_buffer: dict[int, int] = {}
+        for bi, buf in enumerate(buffers):
+            for t in buf.tensors:
+                tid = engine.tensor_index.get(t.name)
+                if tid is not None:
+                    tid_buffer[tid] = bi
+
+        # Per-buffer affected nodes as schedule indices, in the naive
+        # evaluator's name-sorted order (gains sum per-node differences in
+        # exactly that order).
+        self._affected: list[tuple[int, ...]] = []
+        node_to_buffers: dict[int, set[int]] = {}
+        for bi, buf in enumerate(buffers):
+            names = sorted({n for t in buf.tensors for n in t.affected_nodes})
+            idxs = tuple(node_index[n] for n in names if n in node_index)
+            self._affected.append(idxs)
+            for ni in idxs:
+                node_to_buffers.setdefault(ni, set()).add(bi)
+        self._relevant_mask: list[int] = []
+        for bi in range(len(buffers)):
+            mask = 0
+            for ni in self._affected[bi]:
+                for other in node_to_buffers[ni]:
+                    mask |= 1 << other
+            self._relevant_mask.append(mask)
+
+        # Touched nodes only: (kind, owning buffer or -1, latency) tuples,
+        # plus the node-local relevant mask (bits of buffers with a slot
+        # on this node) — a node's latency depends on those bits alone,
+        # which keys the per-node memo.
+        self._node_slots: dict[int, tuple[tuple, tuple, tuple]] = {}
+        self._node_mask: dict[int, int] = {}
+        self._node_cache: dict[int, dict[int, float]] = {}
+        for ni in node_to_buffers:
+            bufs = tuple(tid_buffer.get(t, -1) for t in engine.slot_tids[ni])
+            self._node_slots[ni] = (engine.slot_kinds[ni], bufs, engine.slot_lats[ni])
+            local = 0
+            for buf in bufs:
+                if buf >= 0:
+                    local |= 1 << buf
+            self._node_mask[ni] = local
+            self._node_cache[ni] = {0: engine.base_node_lat[ni]}
+
+        self._cache: list[dict[int, float]] = [dict() for _ in buffers]
+
+    # -- node queries ---------------------------------------------------
+    def node_latency_mask(self, ni: int, mask: int) -> float:
+        """Eq. 1 latency of the node at schedule index ``ni`` under a mask.
+
+        Memoised on the node-local sub-mask: only the bits of buffers
+        with a slot on this node can change the value, and the memoised
+        value is exactly the recomputed one, so caching never perturbs
+        parity.
+        """
+        entry = self._node_slots.get(ni)
+        if entry is None:
+            return self._engine.base_node_lat[ni]
+        key = mask & self._node_mask[ni]
+        cache = self._node_cache[ni]
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        kinds, bufs, lats = entry
+        s0 = s1 = s2 = 0.0
+        for kind, buf, lat in zip(kinds, bufs, lats):
+            if buf >= 0 and mask >> buf & 1:
+                continue
+            if kind == 0:
+                s0 += lat
+            elif kind == 1:
+                s1 += lat
+            else:
+                s2 += lat
+        value = max(self._engine.compute[ni], s0, s1, s2)
+        cache[key] = value
+        return value
+
+    def node_latency_under_mask(self, node: str, context_mask: int) -> float:
+        """Name-keyed variant (API parity with the naive evaluator)."""
+        return self.node_latency_mask(self._engine.node_index[node], context_mask)
+
+    def total_latency(self, chosen: set[int]) -> float:
+        """Exact end-to-end latency with a chosen buffer set on chip.
+
+        Sums per-node latencies in schedule order — untouched nodes keep
+        their all-off-chip value — matching
+        ``LatencyModel.total_latency`` bit-for-bit.
+        """
+        mask = 0
+        for i in chosen:
+            mask |= 1 << i
+        return self.total_latency_mask(mask)
+
+    def total_latency_mask(self, mask: int) -> float:
+        node_slots = self._node_slots
+        total = 0.0
+        for ni, base in enumerate(self._engine.base_node_lat):
+            if ni in node_slots:
+                total += self.node_latency_mask(ni, mask)
+            else:
+                total += base
+        return total
+
+    # -- move evaluation ------------------------------------------------
+    def _affected_union(self, indices: tuple[int, ...]) -> list[int]:
+        affected: set[int] = set()
+        for i in indices:
+            affected.update(self._affected[i])
+        return sorted(affected, key=self._by_name)
+
+    def move_delta(self, context_mask: int, add: int | None, drop: int | None) -> float:
+        """Exact latency change of adding/dropping buffers (negative = better)."""
+        new_mask = context_mask
+        indices = []
+        if drop is not None:
+            new_mask &= ~(1 << drop)
+            indices.append(drop)
+        if add is not None:
+            new_mask |= 1 << add
+            indices.append(add)
+        delta = 0.0
+        for ni in self._affected_union(tuple(indices)):
+            delta += self.node_latency_mask(ni, new_mask)
+            delta -= self.node_latency_mask(ni, context_mask)
+        return delta
+
+    def pair_delta(self, context_mask: int, a: int, b: int) -> float:
+        """Exact latency change of adding buffers ``a`` and ``b`` together."""
+        trial = (context_mask | 1 << a) | 1 << b
+        delta = 0.0
+        for ni in self._affected_union((a, b)):
+            delta += self.node_latency_mask(ni, trial)
+            delta -= self.node_latency_mask(ni, context_mask)
+        return delta
+
+    def exchange_delta(self, context_mask: int, inc: int, evict: list[int]) -> float:
+        """Exact latency change of adding ``inc`` while evicting ``evict``."""
+        trial = context_mask | 1 << inc
+        for out in evict:
+            trial &= ~(1 << out)
+        delta = 0.0
+        for ni in self._affected_union((inc, *evict)):
+            delta += self.node_latency_mask(ni, trial)
+            delta -= self.node_latency_mask(ni, context_mask)
+        return delta
+
+    def relevant_pair(self, a: int, b: int) -> bool:
+        """Whether two buffers share a node (can be complementary)."""
+        return bool(self._relevant_mask[a] >> b & 1)
+
+    def gain(self, buffer_index: int, context_mask: int) -> float:
+        """Marginal latency reduction of taking ``buffer_index``."""
+        key = context_mask & self._relevant_mask[buffer_index]
+        cache = self._cache[buffer_index]
+        cached = cache.get(key)
+        if cached is not None:
+            self._engine.stats.gain_cache_hits += 1
+            return cached
+        self._engine.stats.gain_cache_misses += 1
+        bit = 1 << buffer_index
+        node_mask = self._node_mask
+        node_cache = self._node_cache
+        total = 0.0
+        # Inlined node lookups; each per-node term accumulates as a single
+        # difference, exactly like the naive evaluator's gain loop.
+        for ni in self._affected[buffer_index]:
+            nc = node_cache[ni]
+            kb = context_mask & node_mask[ni]
+            before = nc.get(kb)
+            if before is None:
+                before = self.node_latency_mask(ni, kb)
+            ka = kb | bit
+            after = nc.get(ka)
+            if after is None:
+                after = self.node_latency_mask(ni, ka)
+            total += before - after
+        cache[key] = total
+        return total
+
+
+def _make_evaluator(
+    model: LatencyModel,
+    buffers: list[VirtualBuffer],
+    engine: AllocationEngine | None,
+):
+    """Select the gain evaluator: engine-backed hot path or naive oracle."""
+    if engine is not None:
+        return _EngineGainEvaluator(engine, buffers)
+    return _GainEvaluator(model, buffers)
+
 
 def dnnk_allocate(
     buffers: list[VirtualBuffer],
     model: LatencyModel,
     capacity_bytes: int,
     granularity: int = URAM_BYTES,
+    engine: AllocationEngine | None = None,
 ) -> DNNKResult:
     """Run the DNNK dynamic program (Alg. 1 of the paper).
 
@@ -169,6 +438,10 @@ def dnnk_allocate(
             (``Rsram`` in the paper).
         granularity: Capacity quantum of the DP sweep; defaults to one
             URAM block, the unit the device allocates buffers in.
+        engine: Optional :class:`AllocationEngine`; when given, gains and
+            re-scores run on its flattened arrays (and the DP sweep is
+            vectorised over capacity columns) with results identical to
+            the naive evaluator's.
 
     Returns:
         The allocation, with decisions backtraced from the DP memo.
@@ -180,7 +453,10 @@ def dnnk_allocate(
 
     units = capacity_bytes // granularity
     sizes = [math.ceil(b.size_bytes / granularity) for b in buffers]
-    evaluator = _GainEvaluator(model, buffers)
+    evaluator = _make_evaluator(model, buffers, engine)
+    dp = _dp_pass
+    if engine is not None and _np is not None and len(buffers) <= 63:
+        dp = _dp_pass_vector
 
     # The DP's column-context gains depend on the order buffers are
     # processed in, so run it under two orderings — the caller's list
@@ -197,21 +473,19 @@ def dnnk_allocate(
 
     best_chosen: set[int] = set()
     best_latency = float("inf")
-    best_predicted = 0.0
     for order in orders:
-        chosen_set, predicted = _dp_pass(order, sizes, units, evaluator)
+        chosen_set, _ = dp(order, sizes, units, evaluator)
         chosen_set = _local_search(chosen_set, sizes, units, evaluator, len(buffers))
-        onchip = frozenset(
-            name for i in chosen_set for name in buffers[i].tensor_names
-        )
-        latency = model.total_latency(onchip)
+        latency = evaluator.total_latency(chosen_set)
         if latency < best_latency - 1e-18:
             best_latency = latency
             best_chosen = chosen_set
-            best_predicted = predicted
     chosen_set = best_chosen
     chosen = sorted(chosen_set)
 
+    # Re-score the *final* set exactly: local search may have moved away
+    # from the DP's backtraced choice, so the DP objective would be stale.
+    baseline = evaluator.total_latency(set())
     allocated = [buffers[i] for i in chosen]
     spilled = [b for i, b in enumerate(buffers) if i not in chosen_set]
     onchip = frozenset(name for i in chosen for name in buffers[i].tensor_names)
@@ -219,9 +493,22 @@ def dnnk_allocate(
         allocated=allocated,
         spilled=spilled,
         onchip_tensors=onchip,
-        predicted_reduction=best_predicted,
+        predicted_reduction=baseline - best_latency,
         capacity_bytes=capacity_bytes,
-        used_bytes=sum(buffers[i].size_bytes for i in chosen),
+        used_bytes=_block_rounded_bytes(buffers, chosen, granularity),
+    )
+
+
+def _block_rounded_bytes(
+    buffers: list[VirtualBuffer], chosen, granularity: int
+) -> int:
+    """Block-granular consumption of a chosen buffer set.
+
+    Every allocator reports this same quantity so ``used_bytes`` is
+    comparable across DNNK, greedy, exhaustive and branch-and-bound.
+    """
+    return sum(
+        math.ceil(buffers[i].size_bytes / granularity) * granularity for i in chosen
     )
 
 
@@ -229,7 +516,7 @@ def _dp_pass(
     order: list[int],
     sizes: list[int],
     units: int,
-    evaluator: _GainEvaluator,
+    evaluator,
 ) -> tuple[set[int], float]:
     """One pivot-compensated DP sweep over buffers in ``order``.
 
@@ -272,11 +559,62 @@ def _dp_pass(
     return chosen_set, best[units]
 
 
+def _dp_pass_vector(
+    order: list[int],
+    sizes: list[int],
+    units: int,
+    evaluator,
+) -> tuple[set[int], float]:
+    """Column-vectorised DP sweep — identical decisions to :func:`_dp_pass`.
+
+    The per-column work of a row is one gain lookup keyed on the context's
+    relevant sub-mask; across a row most columns share a handful of
+    distinct keys, so the sweep reduces to ``np.unique`` over the key
+    vector plus one gain evaluation per distinct key.  All arithmetic
+    (``best[j - size] + gain`` and the ``>`` comparison) is the same
+    float64 operation as the scalar loop, so the backtraced set is
+    bit-for-bit the same.
+    """
+    best = _np.zeros(units + 1)
+    context = _np.zeros(units + 1, dtype=_np.uint64)
+    decisions: list = []
+
+    for i in order:
+        size = sizes[i]
+        row = _np.zeros(units + 1, dtype=bool)
+        if size <= units:
+            rel = _np.uint64(evaluator._relevant_mask[i])
+            keys = context[size:] & rel
+            uniq, inverse = _np.unique(keys, return_inverse=True)
+            gains = _np.fromiter(
+                (evaluator.gain(i, int(k)) for k in uniq),
+                dtype=_np.float64,
+                count=len(uniq),
+            )
+            take = best[: units + 1 - size] + gains[inverse]
+            better = take > best[size:]
+            if better.any():
+                new_best = best.copy()
+                new_best[size:][better] = take[better]
+                best = new_best
+                row[size:] = better
+                context[size:][better] |= _np.uint64(1 << i)
+        decisions.append(row)
+
+    chosen_set: set[int] = set()
+    j = units
+    for k in range(len(order) - 1, -1, -1):
+        if decisions[k][j]:
+            chosen_set.add(order[k])
+            j -= sizes[order[k]]
+    return chosen_set, float(best[units])
+
+
 def _local_search(
     chosen_set: set[int],
     sizes: list[int],
     units: int,
-    evaluator: _GainEvaluator,
+    evaluator,
     num_buffers: int,
 ) -> set[int]:
     """Exact-gain local-search refinement of a DP allocation.
@@ -319,18 +657,9 @@ def _local_search(
                     if sizes[a] + sizes[b] > remaining:
                         continue
                     # Only pairs that share a node can be complementary.
-                    if not (evaluator._relevant_mask[a] >> b & 1):
+                    if not evaluator.relevant_pair(a, b):
                         continue
-                    trial = (context_mask | 1 << a) | 1 << b
-                    affected = set(evaluator._affected[a]) | set(
-                        evaluator._affected[b]
-                    )
-                    delta = sum(
-                        evaluator.node_latency_under_mask(n, trial)
-                        - evaluator.node_latency_under_mask(n, context_mask)
-                        for n in affected
-                    )
-                    if delta < -1e-15:
+                    if evaluator.pair_delta(context_mask, a, b) < -1e-15:
                         pair = (a, b)
                         break
                 if pair:
@@ -366,17 +695,7 @@ def _local_search(
                         freed += sizes[out]
                     if freed < sizes[inc]:
                         continue
-                    trial_mask = context_mask | 1 << inc
-                    for out in evict:
-                        trial_mask &= ~(1 << out)
-                    affected = set(evaluator._affected[inc])
-                    for out in evict:
-                        affected.update(evaluator._affected[out])
-                    delta = sum(
-                        evaluator.node_latency_under_mask(n, trial_mask)
-                        - evaluator.node_latency_under_mask(n, context_mask)
-                        for n in affected
-                    )
+                    delta = evaluator.exchange_delta(context_mask, inc, evict)
                     if delta < best_delta - 1e-15:
                         best_delta = delta
                         best_evict = evict
@@ -396,6 +715,7 @@ def greedy_allocate(
     model: LatencyModel,
     capacity_bytes: int,
     granularity: int = URAM_BYTES,
+    engine: AllocationEngine | None = None,
 ) -> DNNKResult:
     """Density-greedy baseline allocator (ablation reference).
 
@@ -406,45 +726,45 @@ def greedy_allocate(
     """
     if granularity <= 0:
         raise ValueError("granularity must be positive")
+    evaluator = _make_evaluator(model, buffers, engine)
     block_sizes = [
         math.ceil(b.size_bytes / granularity) * granularity for b in buffers
     ]
     remaining = (capacity_bytes // granularity) * granularity
     pool = list(range(len(buffers)))
-    onchip: set[str] = set()
     chosen: list[int] = []
-    total_gain = 0.0
+    context_mask = 0
     while pool:
         best_idx, best_density, best_gain = None, 0.0, 0.0
         for i in pool:
-            buf = buffers[i]
             if block_sizes[i] > remaining:
                 continue
-            before = frozenset(onchip)
-            after = frozenset(onchip | set(buf.tensor_names))
-            nodes = {n for t in buf.tensors for n in t.affected_nodes}
-            gain = sum(
-                model.node_latency(n, before) - model.node_latency(n, after)
-                for n in nodes
-            )
-            density = gain / buf.size_bytes
+            gain = evaluator.gain(i, context_mask)
+            density = gain / buffers[i].size_bytes
             if density > best_density:
                 best_idx, best_density, best_gain = i, density, gain
         if best_idx is None:
             break
         pool.remove(best_idx)
         chosen.append(best_idx)
-        onchip.update(buffers[best_idx].tensor_names)
+        context_mask |= 1 << best_idx
         remaining -= block_sizes[best_idx]
-        total_gain += best_gain
     chosen_set = set(chosen)
+    onchip = frozenset(
+        name for i in chosen_set for name in buffers[i].tensor_names
+    )
+    # Report the exact reduction of the final set, not the accumulated
+    # marginal gains (which drift by pair effects and float rounding).
+    reduction = (
+        evaluator.total_latency(set()) - evaluator.total_latency(chosen_set)
+    )
     return DNNKResult(
         allocated=[buffers[i] for i in sorted(chosen_set)],
         spilled=[b for i, b in enumerate(buffers) if i not in chosen_set],
-        onchip_tensors=frozenset(onchip),
-        predicted_reduction=total_gain,
+        onchip_tensors=onchip,
+        predicted_reduction=reduction,
         capacity_bytes=capacity_bytes,
-        used_bytes=capacity_bytes - remaining,
+        used_bytes=_block_rounded_bytes(buffers, chosen_set, granularity),
     )
 
 
@@ -454,6 +774,7 @@ def exhaustive_allocate(
     capacity_bytes: int,
     max_buffers: int = 20,
     granularity: int = URAM_BYTES,
+    engine: AllocationEngine | None = None,
 ) -> DNNKResult:
     """Optimal allocation by exhaustive subset search (test oracle only).
 
@@ -462,6 +783,15 @@ def exhaustive_allocate(
     two are comparable.  Guarded to small instances — the search is
     exponential by construction.
 
+    Without an engine, subsets are enumerated by ascending size through
+    ``itertools.combinations`` and each is scored from scratch.  With an
+    engine, the sweep walks the binary-reflected Gray code so consecutive
+    subsets differ by one buffer: each step recomputes only that buffer's
+    affected nodes, and full totals are only re-summed when the running
+    total signals a potential improvement.  Both modes find a subset of
+    the same optimal latency (tie subsets may differ with the visit
+    order).
+
     Raises:
         ValueError: If more than ``max_buffers`` buffers are given.
     """
@@ -469,32 +799,102 @@ def exhaustive_allocate(
         raise ValueError(
             f"exhaustive search limited to {max_buffers} buffers, got {len(buffers)}"
         )
-    baseline = model.total_latency()
     block_sizes = [
         math.ceil(b.size_bytes / granularity) * granularity for b in buffers
     ]
-    best_subset: tuple[int, ...] = ()
-    best_latency = baseline
-    for r in range(len(buffers) + 1):
-        for subset in itertools.combinations(range(len(buffers)), r):
-            size = sum(block_sizes[i] for i in subset)
-            if size > capacity_bytes:
-                continue
-            onchip = frozenset(
-                name for i in subset for name in buffers[i].tensor_names
-            )
-            latency = model.total_latency(onchip)
-            if latency < best_latency - 1e-15:
-                best_latency = latency
-                best_subset = subset
-    chosen_set = set(best_subset)
+    if engine is not None:
+        best_subset, best_latency, baseline = _gray_code_sweep(
+            _EngineGainEvaluator(engine, buffers), block_sizes, capacity_bytes
+        )
+    else:
+        baseline = model.total_latency()
+        best_subset = set()
+        best_latency = baseline
+        for r in range(len(buffers) + 1):
+            for subset in itertools.combinations(range(len(buffers)), r):
+                size = sum(block_sizes[i] for i in subset)
+                if size > capacity_bytes:
+                    continue
+                onchip = frozenset(
+                    name for i in subset for name in buffers[i].tensor_names
+                )
+                latency = model.total_latency(onchip)
+                if latency < best_latency - 1e-15:
+                    best_latency = latency
+                    best_subset = set(subset)
+    chosen = sorted(best_subset)
     return DNNKResult(
-        allocated=[buffers[i] for i in best_subset],
-        spilled=[b for i, b in enumerate(buffers) if i not in chosen_set],
+        allocated=[buffers[i] for i in chosen],
+        spilled=[b for i, b in enumerate(buffers) if i not in best_subset],
         onchip_tensors=frozenset(
-            name for i in best_subset for name in buffers[i].tensor_names
+            name for i in chosen for name in buffers[i].tensor_names
         ),
         predicted_reduction=baseline - best_latency,
         capacity_bytes=capacity_bytes,
-        used_bytes=sum(buffers[i].size_bytes for i in best_subset),
+        used_bytes=_block_rounded_bytes(buffers, chosen, granularity),
     )
+
+
+#: Gray-code sweep: steps between exact re-sums of the running total.
+#: Per-node latencies are always exact (each toggle recomputes affected
+#: nodes from their slots); only the accumulated sum can drift, by at most
+#: ~one ulp per step, so re-summing every 1024 steps keeps the drift well
+#: under the improvement margin the pre-filter guards.
+_GRAY_RESYNC_STEPS = 1024
+
+
+def _gray_code_sweep(
+    evaluator: _EngineGainEvaluator,
+    block_sizes: list[int],
+    capacity_bytes: int,
+) -> tuple[set[int], float, float]:
+    """Visit all subsets in Gray-code order with O(affected) step cost.
+
+    Returns ``(best_subset, best_latency, baseline)`` where latencies are
+    exact (re-summed, never trusted from the incremental accumulator).
+    """
+    n = len(block_sizes)
+    base_lat = evaluator._engine.base_node_lat
+    node_lat = {ni: base_lat[ni] for ni in evaluator._node_slots}
+
+    def exact_total() -> float:
+        total = 0.0
+        for ni, base in enumerate(base_lat):
+            total += node_lat.get(ni, base)
+        return total
+
+    baseline = exact_total()
+    best_latency = baseline
+    best_mask = 0
+    running = baseline
+    mask = 0
+    size = 0
+    since_sync = 0
+    for g in range(1, 1 << n):
+        bit = (g & -g).bit_length() - 1
+        flip = 1 << bit
+        mask ^= flip
+        size += block_sizes[bit] if mask & flip else -block_sizes[bit]
+        for ni in evaluator._affected[bit]:
+            new = evaluator.node_latency_mask(ni, mask)
+            running += new - node_lat[ni]
+            node_lat[ni] = new
+        since_sync += 1
+        if since_sync >= _GRAY_RESYNC_STEPS:
+            running = exact_total()
+            since_sync = 0
+        if size > capacity_bytes:
+            continue
+        # Pre-filter on the (possibly drifted) running total with a guard
+        # band tighter than the resync drift bound; confirm with an exact
+        # re-sum before accepting, using the same margin as the naive
+        # enumeration.
+        if running < best_latency - 8e-16:
+            exact = exact_total()
+            running = exact
+            since_sync = 0
+            if exact < best_latency - 1e-15:
+                best_latency = exact
+                best_mask = mask
+    best_subset = {i for i in range(n) if best_mask >> i & 1}
+    return best_subset, best_latency, baseline

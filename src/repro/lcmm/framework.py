@@ -19,6 +19,7 @@ Tab. 2 and Fig. 8 report.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 from repro.hw.sram import SRAMBudget, SRAMUsage, blocks_for, BRAM36_BYTES, URAM_BYTES
@@ -32,6 +33,7 @@ from repro.lcmm.interference import InterferenceGraph
 from repro.lcmm.prefetch import PrefetchResult, weight_prefetch_pass
 from repro.lcmm.splitting import buffer_splitting_pass, combine_buffers
 from repro.lcmm.umm import UMMResult, run_umm
+from repro.perf.engine import AllocationEngine, EngineStats
 from repro.perf.latency import LatencyModel
 from repro.perf.systolic import AcceleratorConfig
 
@@ -59,6 +61,10 @@ class LCMMOptions:
             stops streaming, the remainder still pays DDR.  An extension
             beyond the paper (off by default): whole-tensor knapsacks
             strand capacity smaller than any remaining tensor.
+        use_engine: Evaluate allocations on the incremental
+            :class:`AllocationEngine` instead of walking the latency model
+            per query.  Results are bit-for-bit identical either way; the
+            naive route exists as the test oracle.
     """
 
     feature_reuse: bool = True
@@ -69,6 +75,7 @@ class LCMMOptions:
     sram_budget: int | None = None
     prefetch_refinement: int = 0
     fractional_fill: bool = False
+    use_engine: bool = True
 
 
 @dataclass
@@ -107,6 +114,9 @@ class LCMMResult:
     #: Partial residency per spilled tensor (extension; empty unless
     #: ``LCMMOptions.fractional_fill`` is enabled).
     fractions: dict[str, float] = field(default_factory=dict)
+    #: Evaluation-engine counters and per-pass wall time (``None`` when
+    #: the run used the naive evaluator).
+    engine_stats: EngineStats | None = None
 
     @property
     def tops(self) -> float:
@@ -151,19 +161,35 @@ def _compute_residuals(
     model: LatencyModel,
     prefetch: PrefetchResult,
     onchip: frozenset[str],
+    engine: AllocationEngine | None = None,
 ) -> dict[str, float]:
     """Unhidden prefetch time per on-chip weight tensor.
 
     Hiding capacity is re-measured on the *post-allocation* schedule:
     pinning tensors on chip makes earlier nodes faster, which shrinks the
     window a prefetch can hide behind.
+
+    With an engine, the per-node latencies and weight-interface demands
+    are read from its cached state (one incremental jump to ``onchip``)
+    instead of re-walking every slot of every node; the numbers are
+    bit-for-bit the same.
     """
     from repro.lcmm.prefetch import hiding_capacity
 
     schedule = model.nodes()
     index_of = {name: idx for idx, name in enumerate(schedule)}
-    latencies = [model.node_latency(name, onchip) for name in schedule]
-    capacities = hiding_capacity(model, latencies, schedule, onchip)
+    if engine is not None:
+        engine.set_state(onchip)
+        latencies = engine.node_latency_list()
+        # hiding_capacity's demand term is the node's weight-interface
+        # sum under `onchip` — exactly the engine's cached kind-1 sum.
+        capacities = [
+            max(0.0, lat - engine.weight_demand(ni))
+            for ni, lat in enumerate(latencies)
+        ]
+    else:
+        latencies = [model.node_latency(name, onchip) for name in schedule]
+        capacities = hiding_capacity(model, latencies, schedule, onchip)
     residuals: dict[str, float] = {}
     for node, edge in prefetch.edges.items():
         wname = weight_tensor_name(node)
@@ -193,17 +219,24 @@ def run_lcmm(
     """
     options = options or LCMMOptions()
     model = model or LatencyModel(graph, accel)
+    engine = AllocationEngine(model) if options.use_engine else None
+    stats = engine.stats if engine is not None else None
 
-    feature = (
-        feature_reuse_pass(graph, model)
-        if options.feature_reuse
-        else _empty_feature_result()
-    )
-    prefetch = (
-        weight_prefetch_pass(graph, model)
-        if options.weight_prefetch
-        else _empty_prefetch_result()
-    )
+    def timed(name: str):
+        return stats.time_pass(name) if stats is not None else contextlib.nullcontext()
+
+    with timed("feature_reuse"):
+        feature = (
+            feature_reuse_pass(graph, model)
+            if options.feature_reuse
+            else _empty_feature_result()
+        )
+    with timed("weight_prefetch"):
+        prefetch = (
+            weight_prefetch_pass(graph, model)
+            if options.weight_prefetch
+            else _empty_prefetch_result()
+        )
 
     budget = options.sram_budget
     if budget is None:
@@ -218,38 +251,52 @@ def run_lcmm(
         )
 
     def evaluate(onchip: frozenset[str]) -> float:
-        residuals = _compute_residuals(model, prefetch, onchip)
+        residuals = _compute_residuals(model, prefetch, onchip, engine)
+        if engine is not None:
+            engine.set_state(onchip, residuals)
+            return engine.total()
         return model.total_latency(onchip, residuals)
 
-    if options.use_greedy:
-        buffers = combine_buffers([feature.buffers, prefetch.buffers])
-        dnnk = greedy_allocate(buffers, model, capacity)
-        splits = 0
-    elif options.splitting:
-        outcome = buffer_splitting_pass(
-            feature.interference,
-            prefetch.interference,
-            model,
-            capacity,
-            evaluate,
-            granularity=options.granularity,
-        )
-        buffers, dnnk, splits = outcome.buffers, outcome.result, outcome.iterations
-        # The splitting loop may have added false edges; refresh the
-        # per-pass buffer views so they stay consistent with their graphs.
-        feature.buffers = color_buffers(feature.interference)
-        prefetch.buffers = color_buffers(prefetch.interference)
-    else:
-        buffers = combine_buffers([feature.buffers, prefetch.buffers])
-        dnnk = dnnk_allocate(buffers, model, capacity, options.granularity)
-        splits = 0
+    with timed("allocate"):
+        if options.use_greedy:
+            buffers = combine_buffers([feature.buffers, prefetch.buffers])
+            dnnk = greedy_allocate(buffers, model, capacity, engine=engine)
+            splits = 0
+        elif options.splitting:
+            outcome = buffer_splitting_pass(
+                feature.interference,
+                prefetch.interference,
+                model,
+                capacity,
+                evaluate,
+                granularity=options.granularity,
+                engine=engine,
+            )
+            buffers, dnnk, splits = outcome.buffers, outcome.result, outcome.iterations
+            # The splitting loop may have added false edges; refresh the
+            # per-pass buffer views so they stay consistent with their graphs.
+            feature.buffers = color_buffers(feature.interference)
+            prefetch.buffers = color_buffers(prefetch.interference)
+        else:
+            buffers = combine_buffers([feature.buffers, prefetch.buffers])
+            dnnk = dnnk_allocate(
+                buffers, model, capacity, options.granularity, engine=engine
+            )
+            splits = 0
 
-    onchip = dnnk.onchip_tensors
-    residuals = _compute_residuals(model, prefetch, onchip)
-    latency = model.total_latency(onchip, residuals)
-    node_latencies = {
-        name: model.node_latency(name, onchip, residuals) for name in model.nodes()
-    }
+    with timed("score"):
+        onchip = dnnk.onchip_tensors
+        residuals = _compute_residuals(model, prefetch, onchip, engine)
+        if engine is not None:
+            engine.set_state(onchip, residuals)
+            latency = engine.total()
+            node_latencies = engine.node_latencies()
+        else:
+            latency = model.total_latency(onchip, residuals)
+            node_latencies = {
+                name: model.node_latency(name, onchip, residuals)
+                for name in model.nodes()
+            }
 
     # Optional fixpoint refinement: re-derive prefetch windows from the
     # achieved (faster) schedule, re-colour the weight buffers with the
@@ -258,26 +305,42 @@ def run_lcmm(
     for _ in range(options.prefetch_refinement):
         if not options.weight_prefetch:
             break
-        refined = weight_prefetch_pass(graph, model, node_latencies)
-        refined_buffers = combine_buffers([feature.buffers, refined.buffers])
-        if options.use_greedy:
-            refined_dnnk = greedy_allocate(refined_buffers, model, capacity)
-        else:
-            refined_dnnk = dnnk_allocate(
-                refined_buffers, model, capacity, options.granularity
-            )
-        refined_onchip = refined_dnnk.onchip_tensors
-        refined_residuals = _compute_residuals(model, refined, refined_onchip)
-        refined_latency = model.total_latency(refined_onchip, refined_residuals)
+        with timed("refinement"):
+            refined = weight_prefetch_pass(graph, model, node_latencies)
+            refined_buffers = combine_buffers([feature.buffers, refined.buffers])
+            if options.use_greedy:
+                refined_dnnk = greedy_allocate(
+                    refined_buffers, model, capacity, engine=engine
+                )
+            else:
+                refined_dnnk = dnnk_allocate(
+                    refined_buffers, model, capacity, options.granularity, engine=engine
+                )
+            refined_onchip = refined_dnnk.onchip_tensors
+            refined_residuals = _compute_residuals(model, refined, refined_onchip, engine)
+            if engine is not None:
+                engine.set_state(refined_onchip, refined_residuals)
+                refined_latency = engine.total()
+            else:
+                refined_latency = model.total_latency(refined_onchip, refined_residuals)
         if refined_latency >= latency - 1e-15:
             break
         prefetch, dnnk = refined, refined_dnnk
         buffers, onchip = refined_buffers, refined_onchip
         residuals, latency = refined_residuals, refined_latency
-        node_latencies = {
-            name: model.node_latency(name, onchip, residuals)
-            for name in model.nodes()
-        }
+        if engine is not None:
+            node_latencies = engine.node_latencies()
+        else:
+            node_latencies = {
+                name: model.node_latency(name, onchip, residuals)
+                for name in model.nodes()
+            }
+
+    # A rejected refinement (or any evaluate() probe) may have left the
+    # engine on a trial state; park it on the accepted allocation so the
+    # fractional-fill deltas below start from the right baseline.
+    if engine is not None:
+        engine.set_state(onchip, residuals)
 
     # Place tile buffers (BRAM) then tensor buffers (URAM first) in blocks.
     usage = SRAMUsage(budget=accel.device.sram)
@@ -296,51 +359,63 @@ def run_lcmm(
     # slice stops streaming; the remainder still pays DDR transfer.
     fractions: dict[str, float] = {}
     if options.fractional_fill:
-        allocated_bytes = sum(
-            blocks_for(b.size_bytes, options.granularity) * options.granularity
-            for b in dnnk.allocated
-        )
-        leftover = capacity - allocated_bytes
-        spill_candidates = sorted(
-            (
-                c
-                for c in feature.candidates
-                if c.name not in onchip and c.latency_reduction > 0
-            ),
-            key=lambda c: -c.latency_reduction / c.size_bytes,
-        )
-        for cand in spill_candidates:
-            if leftover < options.granularity:
-                break
-            # Partial pins occupy whole blocks: floor the usable slice to
-            # the capacity quantum so block-level placement cannot
-            # overflow the budget.
-            usable = min(
-                (leftover // options.granularity) * options.granularity,
-                blocks_for(cand.size_bytes, options.granularity)
-                * options.granularity,
+        with timed("fractional_fill"):
+            allocated_bytes = sum(
+                blocks_for(b.size_bytes, options.granularity) * options.granularity
+                for b in dnnk.allocated
             )
-            fraction = min(1.0, usable / cand.size_bytes)
-            if fraction <= 0.0:
-                continue
-            trial = dict(fractions)
-            trial[cand.name] = fraction
-            trial_latency = model.total_latency(onchip, residuals, trial)
-            if trial_latency < latency - 1e-15:
-                block_bytes = blocks_for(
-                    min(usable, cand.size_bytes), options.granularity
-                ) * options.granularity
-                if block_bytes > leftover or not usage.can_fit(block_bytes):
+            leftover = capacity - allocated_bytes
+            spill_candidates = sorted(
+                (
+                    c
+                    for c in feature.candidates
+                    if c.name not in onchip and c.latency_reduction > 0
+                ),
+                key=lambda c: -c.latency_reduction / c.size_bytes,
+            )
+            for cand in spill_candidates:
+                if leftover < options.granularity:
+                    break
+                # Partial pins occupy whole blocks: floor the usable slice to
+                # the capacity quantum so block-level placement cannot
+                # overflow the budget.
+                usable = min(
+                    (leftover // options.granularity) * options.granularity,
+                    blocks_for(cand.size_bytes, options.granularity)
+                    * options.granularity,
+                )
+                fraction = min(1.0, usable / cand.size_bytes)
+                if fraction <= 0.0:
                     continue
-                usage.allocate(block_bytes)
-                fractions = trial
-                latency = trial_latency
-                leftover -= block_bytes
-        if fractions:
-            node_latencies = {
-                name: model.node_latency(name, onchip, residuals, fractions)
-                for name in model.nodes()
-            }
+                trial = dict(fractions)
+                trial[cand.name] = fraction
+                if engine is not None:
+                    # One-tensor incremental pin; rolled back on rejection.
+                    engine.apply(fractions={cand.name: fraction})
+                    trial_latency = engine.total()
+                else:
+                    trial_latency = model.total_latency(onchip, residuals, trial)
+                accepted = False
+                if trial_latency < latency - 1e-15:
+                    block_bytes = blocks_for(
+                        min(usable, cand.size_bytes), options.granularity
+                    ) * options.granularity
+                    if block_bytes <= leftover and usage.can_fit(block_bytes):
+                        usage.allocate(block_bytes)
+                        fractions = trial
+                        latency = trial_latency
+                        leftover -= block_bytes
+                        accepted = True
+                if engine is not None and not accepted:
+                    engine.undo()
+            if fractions:
+                if engine is not None:
+                    node_latencies = engine.node_latencies()
+                else:
+                    node_latencies = {
+                        name: model.node_latency(name, onchip, residuals, fractions)
+                        for name in model.nodes()
+                    }
 
     return LCMMResult(
         graph_name=graph.name,
@@ -357,4 +432,5 @@ def run_lcmm(
         sram_usage=usage,
         splitting_iterations=splits,
         fractions=fractions,
+        engine_stats=stats,
     )

@@ -21,6 +21,7 @@ from repro.lcmm.buffers import VirtualBuffer
 from repro.lcmm.coloring import color_buffers
 from repro.lcmm.dnnk import DNNKResult, dnnk_allocate
 from repro.lcmm.interference import InterferenceGraph
+from repro.perf.engine import AllocationEngine
 from repro.perf.latency import LatencyModel
 
 #: Upper bound on splitting iterations; each adds one false edge.
@@ -82,6 +83,7 @@ def buffer_splitting_pass(
     evaluate: Callable[[frozenset[str]], float],
     granularity: int = URAM_BYTES,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    engine: AllocationEngine | None = None,
 ) -> SplittingOutcome:
     """Iteratively split misspilled buffers while latency improves.
 
@@ -95,6 +97,9 @@ def buffer_splitting_pass(
             Supplied by the framework so prefetch residuals are included.
         granularity: DNNK capacity quantum.
         max_iterations: Bound on false edges inserted.
+        engine: Optional :class:`AllocationEngine` forwarded to each
+            DNNK retry, so every re-colour/re-allocate iteration runs on
+            the incremental hot path.
 
     Returns:
         The best configuration seen (the initial one if no split helps).
@@ -104,7 +109,7 @@ def buffer_splitting_pass(
         buffers = combine_buffers(
             [color_buffers(feature_graph), color_buffers(weight_graph)]
         )
-        result = dnnk_allocate(buffers, model, capacity_bytes, granularity)
+        result = dnnk_allocate(buffers, model, capacity_bytes, granularity, engine=engine)
         return buffers, result, evaluate(result.onchip_tensors)
 
     buffers, result, latency = recolor_and_allocate()

@@ -12,9 +12,10 @@ for the external DSE the paper plugs LCMM into.
 
 from repro.perf.tiling import TileConfig
 from repro.perf.systolic import AcceleratorConfig, SystolicArray, default_accelerator
+from repro.perf.engine import AllocationEngine, EngineStats
 from repro.perf.latency import LatencyModel, LayerLatency, Slot
 from repro.perf.roofline import RooflineModel, RooflinePoint
-from repro.perf.dse import DesignPoint, explore_designs
+from repro.perf.dse import DesignPoint, best_design, candidate_tiles, explore_designs
 from repro.perf.batching import BatchResult, batched_latency, umm_batched_latency
 from repro.perf.pipeline import PipelineResult, PipelineStage, design_pipeline
 
@@ -23,12 +24,16 @@ __all__ = [
     "SystolicArray",
     "AcceleratorConfig",
     "default_accelerator",
+    "AllocationEngine",
+    "EngineStats",
     "LatencyModel",
     "LayerLatency",
     "Slot",
     "RooflineModel",
     "RooflinePoint",
     "DesignPoint",
+    "best_design",
+    "candidate_tiles",
     "explore_designs",
     "BatchResult",
     "batched_latency",

@@ -16,9 +16,13 @@ LCMM's tensor buffers for SRAM.
 from __future__ import annotations
 
 import itertools
+import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.ir.graph import ComputationGraph
+from repro.ir.layer import Conv2D, DepthwiseConv2D
+from repro.ir.tensor import TensorKind
 from repro.perf.latency import LatencyModel
 from repro.perf.systolic import AcceleratorConfig, SystolicArray
 from repro.perf.tiling import TileConfig
@@ -64,11 +68,179 @@ def candidate_tiles(
     ]
 
 
+def _configure(base: AcceleratorConfig, tile: TileConfig) -> AcceleratorConfig:
+    """The base design point with only the tile configuration replaced."""
+    return AcceleratorConfig(
+        name=base.name,
+        precision=base.precision,
+        array=base.array,
+        tile=tile,
+        frequency=base.frequency,
+        device=base.device,
+        ddr=base.ddr,
+        ddr_efficiency=base.ddr_efficiency,
+        if_resident_cap=base.if_resident_cap,
+        wt_resident_cap=base.wt_resident_cap,
+    )
+
+
+class _SweepScorer:
+    """Fast per-tile UMM scoring for a fixed (graph, base) pair.
+
+    Building a full :class:`LatencyModel` per tile re-characterises every
+    node, but only the convolution reload factors actually depend on the
+    tile — compute latencies, output slots and every non-conv node are
+    tile-invariant.  This scorer characterises the graph once against the
+    base design, keeps the tile-independent byte counts and latencies, and
+    re-evaluates only the reload-dependent terms per tile.
+
+    The per-node arithmetic replays ``LatencyModel``'s operations in the
+    same order (integer byte products, one division per slot, the same
+    ``max`` and the same schedule-order summation), so ``score(tile)`` is
+    bit-for-bit equal to
+    ``LatencyModel(graph, _configure(base, tile)).umm_latency()``.
+    """
+
+    def __init__(self, graph: ComputationGraph, base: AcceleratorConfig) -> None:
+        ref = LatencyModel(graph, base)
+        elem = base.precision.bytes
+        bw_if = base.interface_bandwidth(TensorKind.IFMAP.value)
+        bw_wt = base.interface_bandwidth(TensorKind.WEIGHT.value)
+        self._bw_if = bw_if
+        self._bw_wt = bw_wt
+        self._if_cap = base.if_resident_cap
+        self._wt_cap = base.wt_resident_cap
+        self._elem = elem
+        # Plan entries in schedule order: (None, latency) for
+        # tile-invariant nodes, otherwise the conv/depthwise parameters.
+        self._plan: list[tuple] = []
+        for name in ref.nodes():
+            layer = graph.layer(name)
+            ll = ref.layer(name)
+            if isinstance(layer, DepthwiseConv2D):
+                out = graph.output_shape(name)
+                if_lat = ll.slot_latency(TensorKind.IFMAP)
+                wt_bytes = layer.weight_shape.volume * elem
+                of_lat = ll.slot_latency(TensorKind.OFMAP)
+                self._plan.append(
+                    ("dw", ll.compute, if_lat, wt_bytes, of_lat, out.height, out.width)
+                )
+            elif isinstance(layer, Conv2D):
+                out = graph.output_shape(name)
+                # One if-slot per feature source; latencies are computed
+                # per slot and summed in slot order, so keep per-source
+                # byte counts rather than one pooled total.
+                if_bytes = tuple(
+                    graph.output_shape(src).volume * elem
+                    for src in graph.feature_sources(name)
+                )
+                wt_bytes = layer.weight_shape.volume * elem
+                of_lat = ll.slot_latency(TensorKind.OFMAP)
+                if_ws_hw = (
+                    layer.in_channels * elem,
+                    layer.stride,
+                    layer.kernel,
+                )
+                self._plan.append(
+                    (
+                        "conv",
+                        ll.compute,
+                        if_bytes,
+                        wt_bytes,
+                        of_lat,
+                        out.channels,
+                        out.height,
+                        out.width,
+                        if_ws_hw,
+                    )
+                )
+            else:
+                self._plan.append((None, ll.latency()))
+
+    def score(self, tile: TileConfig) -> float:
+        """UMM latency of the base design with ``tile`` swapped in."""
+        bw_if = self._bw_if
+        bw_wt = self._bw_wt
+        if_cap = self._if_cap
+        wt_cap = self._wt_cap
+        total = 0.0
+        for entry in self._plan:
+            tag = entry[0]
+            if tag is None:
+                total += entry[1]
+                continue
+            if tag == "conv":
+                (_, compute, if_bytes, wt_bytes, of_lat, out_ch, h, w, ws) = entry
+                n_tm = tile.output_channel_trips(out_ch)
+                n_sp = tile.spatial_trips(h, w)
+                in_ch_elem, stride, kernel = ws
+                if n_tm > 1 and if_cap > 0:
+                    in_h = tile.th * stride[0] + kernel[0] - stride[0]
+                    in_w = tile.tw * stride[1] + kernel[1] - stride[1]
+                    if in_ch_elem * in_h * in_w <= if_cap:
+                        n_tm = 1
+                if n_sp > 1 and wt_cap > 0:
+                    if tile.tm * in_ch_elem * kernel[0] * kernel[1] <= wt_cap:
+                        n_sp = 1
+                if_lat = 0.0
+                for vol in if_bytes:
+                    nb = vol * n_tm
+                    if_lat += nb / bw_if if nb else 0.0
+                nb = wt_bytes * n_sp
+                wt_lat = nb / bw_wt if nb else 0.0
+                total += max(compute, if_lat, wt_lat, of_lat)
+            else:  # depthwise: only the weight reload factor varies
+                (_, compute, if_lat, wt_bytes, of_lat, h, w) = entry
+                n_sp = tile.spatial_trips(h, w)
+                nb = wt_bytes * n_sp
+                wt_lat = nb / bw_wt if nb else 0.0
+                total += max(compute, if_lat, wt_lat, of_lat)
+        return total
+
+
+# Worker-process state for the parallel sweep, installed once per worker
+# by the pool initializer so tile chunks only ship the tiles themselves.
+_worker_scorer: _SweepScorer | None = None
+
+
+def _dse_init(graph: ComputationGraph, base: AcceleratorConfig) -> None:
+    global _worker_scorer
+    _worker_scorer = _SweepScorer(graph, base)
+
+
+def _score_chunk(tiles: list[TileConfig]) -> list[float]:
+    """Score one contiguous chunk of tiles in a worker process."""
+    return [_worker_scorer.score(tile) for tile in tiles]
+
+
+def _score_parallel(
+    graph: ComputationGraph,
+    base: AcceleratorConfig,
+    tiles: list[TileConfig],
+    workers: int,
+) -> list[float]:
+    """Fan tile scoring out over a process pool, preserving tile order.
+
+    Contiguous chunks (a few per worker, to balance uneven models) are
+    mapped in order, so the concatenated result lines up with ``tiles``
+    regardless of which worker finished first.
+    """
+    chunk = max(1, math.ceil(len(tiles) / (workers * 4)))
+    chunks = [tiles[i : i + chunk] for i in range(0, len(tiles), chunk)]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        initializer=_dse_init,
+        initargs=(graph, base),
+    ) as pool:
+        return [lat for part in pool.map(_score_chunk, chunks) for lat in part]
+
+
 def explore_designs(
     graph: ComputationGraph,
     base: AcceleratorConfig,
     tile_buffer_budget: int,
     tiles: list[TileConfig] | None = None,
+    workers: int = 1,
 ) -> list[DesignPoint]:
     """Score every feasible tile configuration on a model.
 
@@ -79,35 +251,47 @@ def explore_designs(
         tile_buffer_budget: Maximum bytes the double-buffered tile buffers
             may occupy (the rest of SRAM is left to LCMM's tensor buffers).
         tiles: Optional explicit candidate list.
+        workers: Process count for the scoring sweep.  ``1`` (the
+            default) runs serially in-process; higher values fan chunks
+            of tiles out over a process pool.  Results are identical and
+            identically ordered either way, and any pool failure (e.g. an
+            environment without working process spawning) falls back to
+            the serial path.
 
     Returns:
         Feasible design points sorted by ascending UMM latency.
     """
     if tile_buffer_budget <= 0:
         raise ValueError("tile_buffer_budget must be positive")
-    points = []
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    feasible: list[tuple[TileConfig, int]] = []
     for tile in tiles if tiles is not None else candidate_tiles():
         footprint = tile.tile_buffer_bytes(base.precision.bytes)
-        if footprint > tile_buffer_budget:
-            continue
-        accel = AcceleratorConfig(
-            name=base.name,
-            precision=base.precision,
-            array=base.array,
-            tile=tile,
-            frequency=base.frequency,
-            device=base.device,
-            ddr=base.ddr,
-            ddr_efficiency=base.ddr_efficiency,
-            if_resident_cap=base.if_resident_cap,
-            wt_resident_cap=base.wt_resident_cap,
-        )
-        latency = LatencyModel(graph, accel).umm_latency()
-        points.append(DesignPoint(accel=accel, umm_latency=latency, tile_buffer_bytes=footprint))
-    if not points:
+        if footprint <= tile_buffer_budget:
+            feasible.append((tile, footprint))
+    if not feasible:
         raise ValueError(
             f"no tile configuration fits a {tile_buffer_budget}-byte budget"
         )
+    tile_list = [tile for tile, _ in feasible]
+    latencies: list[float] | None = None
+    if workers > 1 and len(tile_list) > 1:
+        try:
+            latencies = _score_parallel(graph, base, tile_list, workers)
+        except Exception:
+            latencies = None  # pool unavailable; score serially below
+    if latencies is None:
+        scorer = _SweepScorer(graph, base)
+        latencies = [scorer.score(tile) for tile in tile_list]
+    points = [
+        DesignPoint(
+            accel=_configure(base, tile),
+            umm_latency=latency,
+            tile_buffer_bytes=footprint,
+        )
+        for (tile, footprint), latency in zip(feasible, latencies)
+    ]
     points.sort(key=lambda p: p.umm_latency)
     return points
 
@@ -117,6 +301,7 @@ def best_design(
     base: AcceleratorConfig,
     tile_buffer_budget: int,
     tiles: list[TileConfig] | None = None,
+    workers: int = 1,
 ) -> AcceleratorConfig:
     """The lowest-UMM-latency feasible design (convenience wrapper)."""
-    return explore_designs(graph, base, tile_buffer_budget, tiles)[0].accel
+    return explore_designs(graph, base, tile_buffer_budget, tiles, workers=workers)[0].accel

@@ -101,6 +101,19 @@ class TestCommands:
         contents = open(target).read()
         assert contents.startswith(("digraph", "graph"))
 
+    def test_run_profile_passes(self, capsys):
+        assert main(["run", "googlenet", "--profile-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "Evaluation engine profile" in out
+        assert "allocate" in out
+        assert "gain cache" in out
+
+    def test_dse_output(self, capsys):
+        assert main(["dse", "googlenet", "--workers", "2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Tile DSE" in out
+        assert "UMM" in out
+
     def test_cotune_output(self, capsys):
         assert main(["cotune", "googlenet"]) == 0
         out = capsys.readouterr().out

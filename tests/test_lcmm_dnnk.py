@@ -6,6 +6,8 @@ a heuristic, so we allow a small tolerance, but on independent-buffer
 instances it must be exactly optimal).
 """
 
+import math
+
 import pytest
 
 from repro.hw.sram import URAM_BYTES
@@ -15,6 +17,7 @@ from repro.lcmm.feature_reuse import feature_reuse_pass
 from repro.lcmm.interference import InterferenceGraph
 from repro.lcmm.prefetch import weight_prefetch_pass
 from repro.lcmm.splitting import combine_buffers
+from repro.perf.engine import AllocationEngine
 from repro.perf.latency import LatencyModel
 
 from tests.conftest import build_chain, build_snippet, small_accel
@@ -142,6 +145,97 @@ class TestGreedyBaseline:
         dp_latency = snippet_starved.total_latency(dp.onchip_tensors)
         gd_latency = snippet_starved.total_latency(gd.onchip_tensors)
         assert dp_latency <= gd_latency * 1.05 + 1e-12
+
+
+class TestAccounting:
+    """used_bytes and predicted_reduction are exact, allocator-independent."""
+
+    @pytest.mark.parametrize("granularity", [1024, URAM_BYTES])
+    def test_used_bytes_is_block_rounded(self, starved_model, granularity):
+        buffers = make_buffers(starved_model)
+        capacity = 6 * URAM_BYTES
+        for allocate in (dnnk_allocate, greedy_allocate):
+            result = allocate(
+                buffers, starved_model, capacity, granularity=granularity
+            )
+            expected = sum(
+                math.ceil(b.size_bytes / granularity) * granularity
+                for b in result.allocated
+            )
+            assert result.used_bytes == expected
+
+    def test_predicted_reduction_matches_exact_rescore(self, starved_model):
+        buffers = make_buffers(starved_model)
+        result = dnnk_allocate(buffers, starved_model, 6 * URAM_BYTES)
+        expected = starved_model.umm_latency() - starved_model.total_latency(
+            result.onchip_tensors
+        )
+        assert result.predicted_reduction == expected
+
+    def test_greedy_predicted_reduction_matches_exact_rescore(self, starved_model):
+        buffers = make_buffers(starved_model)
+        result = greedy_allocate(buffers, starved_model, 6 * URAM_BYTES)
+        expected = starved_model.umm_latency() - starved_model.total_latency(
+            result.onchip_tensors
+        )
+        assert result.predicted_reduction == expected
+
+
+class TestEngineParity:
+    """Each allocator decides identically with and without the engine."""
+
+    @pytest.mark.parametrize("capacity_blocks", [0, 2, 6])
+    def test_dnnk_engine_identical(self, starved_model, capacity_blocks):
+        buffers = make_buffers(starved_model)
+        capacity = capacity_blocks * URAM_BYTES
+        naive = dnnk_allocate(buffers, starved_model, capacity)
+        fast = dnnk_allocate(
+            buffers, starved_model, capacity, engine=AllocationEngine(starved_model)
+        )
+        assert fast.onchip_tensors == naive.onchip_tensors
+        assert fast.used_bytes == naive.used_bytes
+        assert fast.predicted_reduction == naive.predicted_reduction
+
+    def test_greedy_engine_identical(self, starved_model):
+        buffers = make_buffers(starved_model)
+        capacity = 4 * URAM_BYTES
+        naive = greedy_allocate(buffers, starved_model, capacity)
+        fast = greedy_allocate(
+            buffers, starved_model, capacity, engine=AllocationEngine(starved_model)
+        )
+        assert fast.onchip_tensors == naive.onchip_tensors
+        assert fast.used_bytes == naive.used_bytes
+        assert fast.predicted_reduction == naive.predicted_reduction
+
+    @pytest.mark.parametrize("capacity_blocks", [1, 4])
+    def test_exhaustive_engine_identical(self, snippet_starved, capacity_blocks):
+        buffers = make_buffers(snippet_starved)
+        capacity = capacity_blocks * URAM_BYTES
+        naive = exhaustive_allocate(buffers, snippet_starved, capacity)
+        fast = exhaustive_allocate(
+            buffers,
+            snippet_starved,
+            capacity,
+            engine=AllocationEngine(snippet_starved),
+        )
+        assert fast.onchip_tensors == naive.onchip_tensors
+        assert fast.predicted_reduction == naive.predicted_reduction
+        assert fast.used_bytes == naive.used_bytes
+
+    def test_dnnk_engine_near_exhaustive(self, snippet_starved):
+        # The engine-backed DP must stay comparable to the oracle, like
+        # the naive DP does.
+        buffers = make_buffers(snippet_starved)
+        capacity = 4 * URAM_BYTES
+        engine = AllocationEngine(snippet_starved)
+        dp = dnnk_allocate(
+            buffers, snippet_starved, capacity, granularity=1024, engine=engine
+        )
+        opt = exhaustive_allocate(buffers, snippet_starved, capacity)
+        baseline = snippet_starved.umm_latency()
+        dp_gain = baseline - snippet_starved.total_latency(dp.onchip_tensors)
+        opt_gain = baseline - snippet_starved.total_latency(opt.onchip_tensors)
+        assert dp_gain >= 0.9 * opt_gain - 1e-12
 
 
 class TestGranularity:

@@ -2,10 +2,17 @@
 
 import pytest
 
-from repro.perf.dse import best_design, candidate_tiles, explore_designs
+from repro.perf.dse import (
+    _configure,
+    _SweepScorer,
+    best_design,
+    candidate_tiles,
+    explore_designs,
+)
+from repro.perf.latency import LatencyModel
 from repro.perf.tiling import TileConfig
 
-from tests.conftest import build_chain, small_accel
+from tests.conftest import build_chain, build_snippet, small_accel
 
 
 class TestCandidates:
@@ -56,3 +63,42 @@ class TestExplore:
         points = explore_designs(build_chain(), base, 10 * 2**20)
         assert points[0].accel.if_resident_cap == 4096
         assert points[0].accel.wt_resident_cap == 8192
+
+
+class TestSweepScorer:
+    @pytest.mark.parametrize("graph_builder", [build_chain, build_snippet])
+    @pytest.mark.parametrize(
+        "base",
+        [small_accel(), small_accel(if_resident_cap=1 << 14, wt_resident_cap=1 << 13)],
+        ids=["nocaps", "caps"],
+    )
+    def test_bit_identical_to_latency_model(self, graph_builder, base):
+        graph = graph_builder()
+        scorer = _SweepScorer(graph, base)
+        for tile in candidate_tiles():
+            expected = LatencyModel(graph, _configure(base, tile)).umm_latency()
+            assert scorer.score(tile) == expected
+
+
+class TestWorkers:
+    def test_workers_results_identical_to_serial(self):
+        graph = build_chain()
+        base = small_accel()
+        budget = 10 * 2**20
+        serial = explore_designs(graph, base, budget)
+        parallel = explore_designs(graph, base, budget, workers=2)
+        key = lambda points: [(p.accel.tile, p.umm_latency) for p in points]
+        assert key(parallel) == key(serial)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            explore_designs(build_chain(), small_accel(), 10 * 2**20, workers=0)
+
+    def test_best_design_forwards_workers(self):
+        graph = build_chain()
+        base = small_accel()
+        budget = 10 * 2**20
+        assert (
+            best_design(graph, base, budget, workers=2).tile
+            == best_design(graph, base, budget).tile
+        )

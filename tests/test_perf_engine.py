@@ -1,0 +1,260 @@
+"""The incremental allocation-evaluation engine vs the naive evaluator.
+
+The engine's contract is *bit-for-bit* equality with walking the
+:class:`LatencyModel` per query — not approximate agreement.  These tests
+enforce that contract three ways:
+
+* hypothesis property tests over random DAGs and random allocation states
+  (on-chip sets, prefetch residuals, fractional pins);
+* apply/undo round-trips returning the exact prior state;
+* end-to-end ``run_lcmm`` parity (engine on vs off) across real models
+  and option combinations, down to physical placement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import Concat, EltwiseAdd, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.lcmm.framework import LCMMOptions, run_lcmm
+from repro.models.common import conv
+from repro.models.zoo import build_googlenet, build_squeezenet
+from repro.perf.engine import AllocationEngine, EngineStats
+from repro.perf.latency import LatencyModel
+
+from tests.conftest import build_snippet, small_accel
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_dags(draw):
+    """A random conv DAG with occasional concat/eltwise joins."""
+    num_layers = draw(st.integers(min_value=2, max_value=9))
+    g = ComputationGraph(name="random")
+    g.add(InputLayer(name="data", shape=FeatureMapShape(16, 14, 14)))
+    names = ["data"]
+    shapes = {"data": 16}
+    for i in range(num_layers):
+        src = names[draw(st.integers(min_value=0, max_value=len(names) - 1))]
+        channels = draw(st.sampled_from([16, 32, 48]))
+        kernel = draw(st.sampled_from([1, 3]))
+        name = f"c{i}"
+        conv(g, name, src, channels, kernel)
+        names.append(name)
+        shapes[name] = channels
+    # Join two same-shaped convs when the draw allows, to get multi-input
+    # nodes (their if-slots serialise on one interface).
+    convs = names[1:]
+    if len(convs) >= 2 and draw(st.booleans()):
+        a = convs[-1]
+        partners = [n for n in convs[:-1] if shapes[n] == shapes[a]]
+        if partners and draw(st.booleans()):
+            g.add(EltwiseAdd(name="join", inputs=(a, partners[0])))
+        else:
+            g.add(Concat(name="join", inputs=(a, convs[0])))
+    g.validate()
+    return g
+
+
+@st.composite
+def engine_cases(draw):
+    """(model, onchip, residuals, fractions) over a random DAG."""
+    graph = draw(random_dags())
+    model = LatencyModel(graph, small_accel())
+    tensors = sorted(
+        {s.tensor for node in model.nodes() for s in model.layer(node).slots}
+    )
+    onchip = {t for t in tensors if draw(st.booleans())}
+    residuals = {
+        t: draw(st.floats(min_value=0.0, max_value=1e-3, allow_nan=False))
+        for t in sorted(onchip)
+        if draw(st.booleans())
+    }
+    fractions = {
+        t: draw(st.floats(min_value=0.01, max_value=0.99, allow_nan=False))
+        for t in tensors
+        if t not in onchip and draw(st.booleans())
+    }
+    return model, frozenset(onchip), residuals, fractions
+
+
+# ---------------------------------------------------------------------------
+# Property: engine state == naive evaluation, bit for bit
+# ---------------------------------------------------------------------------
+
+
+class TestEngineMatchesModel:
+    @given(engine_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_set_state_total_exact(self, case):
+        model, onchip, residuals, fractions = case
+        engine = AllocationEngine(model)
+        engine.set_state(onchip, residuals, fractions)
+        expected = model.total_latency(onchip, residuals, fractions)
+        assert engine.total() == expected
+
+    @given(engine_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_per_node_latencies_exact(self, case):
+        model, onchip, residuals, fractions = case
+        engine = AllocationEngine(model)
+        engine.set_state(onchip, residuals, fractions)
+        for node in model.nodes():
+            expected = model.layer(node).latency(onchip, residuals, fractions)
+            assert engine.node_latency(node) == expected
+
+    @given(engine_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_apply_reaches_same_state_as_set_state(self, case):
+        model, onchip, residuals, fractions = case
+        engine = AllocationEngine(model)
+        engine.apply(add=sorted(onchip), residuals=residuals, fractions=fractions)
+        assert engine.total() == model.total_latency(onchip, residuals, fractions)
+        assert engine.onchip() == onchip
+
+    @given(engine_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_apply_delta_is_exact_difference(self, case):
+        model, onchip, residuals, fractions = case
+        engine = AllocationEngine(model)
+        before = engine.total()
+        delta = engine.apply(
+            add=sorted(onchip), residuals=residuals, fractions=fractions
+        )
+        # The delta accumulates per-node differences; it must agree with
+        # the totals to float-sum tolerance and the totals stay exact.
+        assert abs((before + delta) - engine.total()) <= 1e-12 * max(1.0, before)
+        assert engine.total() == model.total_latency(onchip, residuals, fractions)
+
+    @given(engine_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_undo_restores_exact_state(self, case):
+        model, onchip, residuals, fractions = case
+        engine = AllocationEngine(model)
+        base_total = engine.total()
+        base_nodes = engine.node_latency_list()
+        engine.apply(add=sorted(onchip), residuals=residuals, fractions=fractions)
+        engine.undo()
+        assert engine.total() == base_total
+        assert engine.node_latency_list() == base_nodes
+        assert engine.onchip() == frozenset()
+
+
+class TestEngineMechanics:
+    def test_umm_state_matches_model(self, snippet_model):
+        engine = AllocationEngine(snippet_model)
+        assert engine.total() == snippet_model.umm_latency()
+        assert engine.node_latency_list() == [
+            snippet_model.layer(n).latency() for n in snippet_model.nodes()
+        ]
+
+    def test_undo_without_transition_raises(self, snippet_model):
+        engine = AllocationEngine(snippet_model)
+        with pytest.raises(RuntimeError):
+            engine.undo()
+
+    def test_set_state_is_undo_barrier(self, snippet_model):
+        engine = AllocationEngine(snippet_model)
+        engine.apply(add=["w:C1"])
+        engine.set_state(frozenset())
+        with pytest.raises(RuntimeError):
+            engine.undo()
+
+    def test_unknown_tensor_names_ignored(self, snippet_model):
+        engine = AllocationEngine(snippet_model)
+        assert engine.apply(add=["nope"]) == 0.0
+        assert engine.total() == snippet_model.umm_latency()
+
+    def test_stats_counters_advance(self, snippet_model):
+        stats = EngineStats()
+        engine = AllocationEngine(snippet_model, stats=stats)
+        assert stats.full_rescores == 1
+        evals = stats.node_evaluations
+        engine.apply(add=["w:C1"])
+        engine.undo()
+        assert stats.applies == 1
+        assert stats.undos == 1
+        assert stats.node_evaluations > evals
+        payload = stats.as_dict()
+        assert payload["applies"] == 1
+        assert "pass_seconds" in payload
+
+    def test_time_pass_accumulates(self):
+        stats = EngineStats()
+        with stats.time_pass("demo"):
+            pass
+        with stats.time_pass("demo"):
+            pass
+        assert stats.pass_seconds["demo"] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end parity: run_lcmm with the engine on vs off
+# ---------------------------------------------------------------------------
+
+
+def _assert_runs_identical(graph, accel, options):
+    model = LatencyModel(graph, accel)
+    naive = run_lcmm(
+        graph, accel, options=dataclasses.replace(options, use_engine=False),
+        model=model,
+    )
+    fast = run_lcmm(
+        graph, accel, options=dataclasses.replace(options, use_engine=True),
+        model=model,
+    )
+    assert fast.latency == naive.latency
+    assert fast.onchip_tensors == naive.onchip_tensors
+    assert fast.node_latencies == naive.node_latencies
+    assert fast.residuals == naive.residuals
+    assert fast.fractions == naive.fractions
+    assert fast.splitting_iterations == naive.splitting_iterations
+    placement = lambda r: [
+        (b.name, b.uram_blocks, b.bram36_blocks, tuple(b.virtual.tensor_names))
+        for b in r.physical_buffers
+    ]
+    assert placement(fast) == placement(naive)
+    assert naive.engine_stats is None
+    assert fast.engine_stats is not None
+
+
+class TestRunParity:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            LCMMOptions(),
+            LCMMOptions(prefetch_refinement=2),
+            LCMMOptions(fractional_fill=True),
+            LCMMOptions(use_greedy=True),
+            LCMMOptions(splitting=False),
+        ],
+        ids=["default", "refined", "fractional", "greedy", "nosplit"],
+    )
+    def test_snippet_parity(self, options):
+        _assert_runs_identical(build_snippet(), small_accel(), options)
+
+    def test_squeezenet_parity(self):
+        _assert_runs_identical(build_squeezenet(), small_accel(), LCMMOptions())
+
+    def test_googlenet_parity(self):
+        _assert_runs_identical(
+            build_googlenet(),
+            small_accel(),
+            LCMMOptions(prefetch_refinement=1, fractional_fill=True),
+        )
+
+    def test_engine_stats_report_passes(self):
+        result = run_lcmm(build_snippet(), small_accel())
+        stats = result.engine_stats
+        assert stats is not None
+        for name in ("feature_reuse", "weight_prefetch", "allocate", "score"):
+            assert stats.pass_seconds.get(name, 0.0) >= 0.0
+        assert stats.node_evaluations > 0
