@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.hw.precision import FP32, INT8, INT16, Precision
 from repro.ir.graph import ComputationGraph
 from repro.lcmm.framework import LCMMOptions, LCMMResult, run_lcmm
+from repro.lcmm.passes import pipeline_from_names
 from repro.lcmm.umm import UMMResult, run_umm
 from repro.models.zoo import get_model
 from repro.perf.latency import LatencyModel
@@ -343,11 +344,30 @@ class Fig8Series:
     tops: tuple[float, ...]
 
 
+#: Fig. 8 ablations as pass pipelines: dropping a technique is dropping
+#: its pass, not flipping a flag — every variant still ends in the same
+#: allocate/score/placement tail.  ``None`` marks the UMM baseline.
+FIG8_PIPELINES: dict[str, tuple[str, ...] | None] = {
+    "UMM": None,
+    "LCMM (feature reuse)": (
+        "feature_reuse", "allocate_splitting", "score", "placement",
+    ),
+    "LCMM (weight prefetching)": (
+        "weight_prefetch", "allocate_splitting", "score", "placement",
+    ),
+    "LCMM": (
+        "feature_reuse", "weight_prefetch", "allocate_splitting", "score",
+        "placement",
+    ),
+}
+
+
 def run_fig8(precision: Precision = INT16) -> list[Fig8Series]:
     """Regenerate Fig. 8: GoogLeNet per-block analysis at 16-bit.
 
     Four series: the UMM baseline, LCMM with feature reuse only (8a),
-    LCMM with weight prefetching only (8b), and full LCMM (8c).
+    LCMM with weight prefetching only (8b), and full LCMM (8c) — each
+    LCMM variant an explicit pass pipeline from :data:`FIG8_PIPELINES`.
     """
     graph = get_model("googlenet")
     blocks = tuple(b for b in graph.blocks if b.startswith("inception"))
@@ -355,22 +375,19 @@ def run_fig8(precision: Precision = INT16) -> list[Fig8Series]:
     umm_model = LatencyModel(graph, accel_umm)
     umm = run_umm(graph, accel_umm, umm_model)
 
-    variants = {
-        "UMM": None,
-        "LCMM (feature reuse)": LCMMOptions(weight_prefetch=False),
-        "LCMM (weight prefetching)": LCMMOptions(feature_reuse=False),
-        "LCMM": LCMMOptions(),
-    }
     accel_lcmm = reference_design("googlenet", precision, "lcmm")
     lcmm_model = LatencyModel(graph, accel_lcmm)
 
     series = []
-    for label, options in variants.items():
-        if options is None:
+    for label, pass_names in FIG8_PIPELINES.items():
+        if pass_names is None:
             latencies = umm.node_latencies
         else:
             latencies = run_lcmm(
-                graph, accel_lcmm, options=options, model=lcmm_model
+                graph,
+                accel_lcmm,
+                model=lcmm_model,
+                pipeline=pipeline_from_names(pass_names),
             ).node_latencies
         tops = tuple(
             block_throughput(graph, latencies, b) / 1e12 for b in blocks

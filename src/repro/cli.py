@@ -9,6 +9,8 @@ Installed as the ``lcmm`` console script::
     lcmm fig2b --stride 16   # per-block allocation design space
     lcmm fig8                # GoogLeNet per-block breakdown
     lcmm run resnet152 --precision int16   # one design pair in detail
+    lcmm run googlenet --explain           # executed pipeline + diagnostics
+    lcmm passes              # registered compilation passes
     lcmm sweep googlenet     # speedup vs on-chip memory budget
     lcmm simulate googlenet  # event-driven timeline (Gantt)
     lcmm export resnet50 -o alloc.json     # allocation report for codegen
@@ -169,6 +171,17 @@ def _cmd_run(args: argparse.Namespace) -> None:
           f"(URAM {cmp.lcmm.sram_usage.uram_utilization:.0%}, "
           f"BRAM {cmp.lcmm.sram_usage.bram_utilization:.0%})")
     print(f"POL:  {cmp.lcmm.percentage_onchip_layers(cmp.lcmm_model):.0%}")
+    if args.explain:
+        result = cmp.lcmm
+        print(f"\nPipeline: {result.pipeline_description}")
+        for name, seconds in result.pass_timings:
+            print(f"  {name:18s} {seconds * 1e3:9.3f} ms")
+        if result.diagnostics:
+            print(f"Diagnostics ({len(result.diagnostics)}):")
+            for diag in result.diagnostics:
+                print(f"  {diag}")
+        else:
+            print("Diagnostics: none")
     if args.profile_passes:
         stats = cmp.lcmm.engine_stats
         if stats is None:
@@ -184,6 +197,21 @@ def _cmd_run(args: argparse.Namespace) -> None:
         total = hits + misses
         rate = hits / total if total else 0.0
         print(f"  gain cache:       {hits}/{total} hits ({rate:.0%})")
+
+
+def _cmd_passes(args: argparse.Namespace) -> None:
+    from repro.lcmm.options import LCMMOptions
+    from repro.lcmm.passes import default_pipeline, registered_passes
+
+    print("Registered compilation passes:")
+    for name, cls in sorted(registered_passes().items()):
+        instance = cls()
+        requires = ", ".join(instance.requires) or "-"
+        produces = ", ".join(instance.produces) or "-"
+        print(f"  {name:18s} {instance.describe()}")
+        print(f"  {'':18s} requires: {requires}  produces: {produces}")
+    default = " -> ".join(p.name for p in default_pipeline(LCMMOptions()))
+    print(f"\nDefault pipeline: {default}")
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
@@ -394,7 +422,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-pass wall time and evaluation-engine counters",
     )
+    prun.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the executed pipeline, per-pass timings and diagnostics",
+    )
     prun.set_defaults(func=_cmd_run)
+
+    sub.add_parser(
+        "passes", help="list registered compilation passes"
+    ).set_defaults(func=_cmd_passes)
 
     psweep = sub.add_parser("sweep", help="speedup vs on-chip memory budget")
     psweep.add_argument("model", choices=list(BENCHMARKS))

@@ -11,7 +11,8 @@ The four coordinated techniques of Sec. 3:
 * :mod:`repro.lcmm.splitting` — buffer splitting against misspilling
   (Sec. 3.4);
 
-plus the UMM baseline, the orchestrating framework and invariant checks.
+plus the UMM baseline, the pass pipeline (:mod:`repro.lcmm.passes`) that
+orchestrates them, the thin :func:`run_lcmm` driver and invariant checks.
 """
 
 from repro.lcmm.buffers import (
@@ -31,7 +32,19 @@ from repro.lcmm.dnnk import (
     exhaustive_allocate,
     greedy_allocate,
 )
-from repro.lcmm.splitting import SplittingOutcome, buffer_splitting_pass
+from repro.lcmm.splitting import SplitAttempt, SplittingOutcome, buffer_splitting_pass
+from repro.lcmm.passes import (
+    CompilationContext,
+    Pass,
+    PassDiagnostic,
+    PassManager,
+    PipelineError,
+    default_pipeline,
+    make_pass,
+    pipeline_from_names,
+    register_pass,
+    registered_passes,
+)
 from repro.lcmm.tables import (
     OperationLatencyRow,
     operation_latency_table,
@@ -72,8 +85,19 @@ __all__ = [
     "dnnk_allocate",
     "greedy_allocate",
     "exhaustive_allocate",
+    "SplitAttempt",
     "SplittingOutcome",
     "buffer_splitting_pass",
+    "CompilationContext",
+    "Pass",
+    "PassDiagnostic",
+    "PassManager",
+    "PipelineError",
+    "default_pipeline",
+    "make_pass",
+    "pipeline_from_names",
+    "register_pass",
+    "registered_passes",
     "OperationLatencyRow",
     "operation_latency_table",
     "tensor_metric_table",

@@ -22,9 +22,13 @@ from repro.lcmm.buffers import VirtualBuffer
 from repro.perf.latency import LatencyModel
 
 
-@dataclass
+@dataclass(frozen=True)
 class FeatureReuseResult:
     """Output of the feature buffer reuse pass.
+
+    Frozen: pipeline stages that refine a published result (e.g. the
+    splitting recolour) build a new object with ``dataclasses.replace``
+    instead of patching fields of one already handed out.
 
     Attributes:
         candidates: Memory-bound feature tensors with metrics and ranges.

@@ -1,81 +1,48 @@
-"""The LCMM framework — orchestrates the four techniques (Fig. 4).
+"""The LCMM framework — a thin driver over the pass pipeline (Fig. 4).
 
-Pipeline, exactly as the paper's flow diagram:
-
-1. the DSE-provided design point fixes the PE array and tile buffers;
-2. **feature buffer reuse** colours lifetime-disjoint feature tensors into
-   shared virtual buffers (Sec. 3.1);
-3. **weight buffer prefetching** builds the PDG, bounds weight lifespans
-   and colours weight buffers (Sec. 3.2);
-4. **DNNK** allocates physical on-chip memory to the virtual buffers
-   (Sec. 3.3);
-5. **buffer splitting** retries with false interference edges when a
-   high-value tensor was misspilled (Sec. 3.4).
+The four techniques of the paper's flow diagram — feature buffer reuse
+(Sec. 3.1), weight buffer prefetching (Sec. 3.2), DNNK allocation
+(Sec. 3.3) and buffer splitting (Sec. 3.4) — live in
+:mod:`repro.lcmm.passes` as registered :class:`~repro.lcmm.passes.Pass`
+classes.  :func:`run_lcmm` only assembles the pipeline
+(:func:`~repro.lcmm.passes.default_pipeline` from the options, or a
+caller-supplied pass list), executes it through a
+:class:`~repro.lcmm.passes.PassManager`, and packages the context
+artifacts into an :class:`LCMMResult`.
 
 The result carries the exact end-to-end latency (Eq. 1 with prefetch
-residuals), the physical buffer map and the utilisation metrics Tab. 1,
-Tab. 2 and Fig. 8 report.
+residuals), the physical buffer map, the utilisation metrics Tab. 1,
+Tab. 2 and Fig. 8 report — and, new with the pipeline, the structured
+per-pass diagnostics and the executed pipeline description that
+``lcmm run <model> --explain`` prints.
 """
 
 from __future__ import annotations
 
-import contextlib
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.hw.sram import SRAMBudget, SRAMUsage, blocks_for, BRAM36_BYTES, URAM_BYTES
+from repro.hw.sram import SRAMUsage
 from repro.ir.graph import ComputationGraph
-from repro.ir.tensor import weight_tensor_name
-from repro.lcmm.buffers import PhysicalBuffer, VirtualBuffer
-from repro.lcmm.coloring import color_buffers
-from repro.lcmm.dnnk import DNNKResult, dnnk_allocate, greedy_allocate
-from repro.lcmm.feature_reuse import FeatureReuseResult, feature_reuse_pass
-from repro.lcmm.interference import InterferenceGraph
-from repro.lcmm.prefetch import PrefetchResult, weight_prefetch_pass
-from repro.lcmm.splitting import buffer_splitting_pass, combine_buffers
-from repro.lcmm.umm import UMMResult, run_umm
-from repro.perf.engine import AllocationEngine, EngineStats
+from repro.lcmm.buffers import PhysicalBuffer
+from repro.lcmm.feature_reuse import FeatureReuseResult
+from repro.lcmm.options import LCMMOptions
+from repro.lcmm.dnnk import DNNKResult
+from repro.lcmm.passes import (
+    CompilationContext,
+    Pass,
+    PassDiagnostic,
+    PassManager,
+    default_pipeline,
+    empty_feature_result,
+    empty_prefetch_result,
+)
+from repro.lcmm.prefetch import PrefetchResult
+from repro.perf.engine import EngineStats
 from repro.perf.latency import LatencyModel
 from repro.perf.systolic import AcceleratorConfig
 
-
-@dataclass
-class LCMMOptions:
-    """Feature switches of the framework (used by the ablation benches).
-
-    Attributes:
-        feature_reuse: Enable the feature buffer reuse pass.
-        weight_prefetch: Enable the weight prefetching pass.
-        splitting: Enable the buffer splitting pass.
-        use_greedy: Replace DNNK with the density-greedy allocator.
-        granularity: DNNK capacity quantum in bytes.
-        sram_budget: Override the on-chip memory available to LCMM
-            (tile buffers included); defaults to the whole device.
-        prefetch_refinement: Extra fixpoint iterations of the prefetch
-            pass.  The paper computes hiding windows once, against UMM
-            latencies; each refinement recomputes them against the
-            latencies of the current allocation (which are shorter, so
-            windows shrink and spans lengthen) and re-allocates.  Kept at
-            0 by default for paper fidelity.
-        fractional_fill: After DNNK, fill leftover capacity with *partial*
-            pins of spilled feature tensors — the resident channel slice
-            stops streaming, the remainder still pays DDR.  An extension
-            beyond the paper (off by default): whole-tensor knapsacks
-            strand capacity smaller than any remaining tensor.
-        use_engine: Evaluate allocations on the incremental
-            :class:`AllocationEngine` instead of walking the latency model
-            per query.  Results are bit-for-bit identical either way; the
-            naive route exists as the test oracle.
-    """
-
-    feature_reuse: bool = True
-    weight_prefetch: bool = True
-    splitting: bool = True
-    use_greedy: bool = False
-    granularity: int = URAM_BYTES
-    sram_budget: int | None = None
-    prefetch_refinement: int = 0
-    fractional_fill: bool = False
-    use_engine: bool = True
+__all__ = ["LCMMOptions", "LCMMResult", "run_lcmm"]
 
 
 @dataclass
@@ -117,6 +84,14 @@ class LCMMResult:
     #: Evaluation-engine counters and per-pass wall time (``None`` when
     #: the run used the naive evaluator).
     engine_stats: EngineStats | None = None
+    #: Structured per-pass records (splits kept, refinement verdicts,
+    #: stranded capacity, ...) in emission order.
+    diagnostics: tuple[PassDiagnostic, ...] = ()
+    #: The executed pipeline as ``"feature_reuse -> ... -> placement"``.
+    pipeline_description: str = ""
+    #: Per-pass wall seconds in execution order (available on the naive
+    #: path too, unlike ``engine_stats.pass_seconds``).
+    pass_timings: tuple[tuple[str, float], ...] = ()
 
     @property
     def tops(self) -> float:
@@ -145,62 +120,39 @@ class LCMMResult:
         return benefiting / len(bound)
 
 
-def _empty_feature_result() -> FeatureReuseResult:
-    return FeatureReuseResult(
-        candidates=[], interference=InterferenceGraph(), buffers=[]
-    )
+def package_result(ctx: CompilationContext, manager: PassManager) -> LCMMResult:
+    """Assemble an :class:`LCMMResult` from an executed pipeline's context.
 
-
-def _empty_prefetch_result() -> PrefetchResult:
-    return PrefetchResult(
-        edges={}, candidates=[], interference=InterferenceGraph(), buffers=[]
-    )
-
-
-def _compute_residuals(
-    model: LatencyModel,
-    prefetch: PrefetchResult,
-    onchip: frozenset[str],
-    engine: AllocationEngine | None = None,
-) -> dict[str, float]:
-    """Unhidden prefetch time per on-chip weight tensor.
-
-    Hiding capacity is re-measured on the *post-allocation* schedule:
-    pinning tensors on chip makes earlier nodes faster, which shrinks the
-    window a prefetch can hide behind.
-
-    With an engine, the per-node latencies and weight-interface demands
-    are read from its cached state (one incremental jump to ``onchip``)
-    instead of re-walking every slot of every node; the numbers are
-    bit-for-bit the same.
+    Raises:
+        repro.lcmm.passes.PipelineError: When the pipeline did not
+            produce the ``"allocation"``, ``"score"`` and ``"placement"``
+            artifacts a result requires.
     """
-    from repro.lcmm.prefetch import hiding_capacity
-
-    schedule = model.nodes()
-    index_of = {name: idx for idx, name in enumerate(schedule)}
-    if engine is not None:
-        engine.set_state(onchip)
-        latencies = engine.node_latency_list()
-        # hiding_capacity's demand term is the node's weight-interface
-        # sum under `onchip` — exactly the engine's cached kind-1 sum.
-        capacities = [
-            max(0.0, lat - engine.weight_demand(ni))
-            for ni, lat in enumerate(latencies)
-        ]
-    else:
-        latencies = [model.node_latency(name, onchip) for name in schedule]
-        capacities = hiding_capacity(model, latencies, schedule, onchip)
-    residuals: dict[str, float] = {}
-    for node, edge in prefetch.edges.items():
-        wname = weight_tensor_name(node)
-        if wname not in onchip:
-            continue
-        start, end = index_of[edge.start], index_of[node]
-        hidden = sum(capacities[start:end])
-        residual = max(0.0, edge.load_time - hidden)
-        if residual > 0.0:
-            residuals[wname] = residual
-    return residuals
+    allocation = ctx.require("allocation")
+    score = ctx.require("score")
+    placement = ctx.require("placement")
+    feature = ctx.get("feature")
+    prefetch = ctx.get("prefetch")
+    return LCMMResult(
+        graph_name=ctx.graph.name,
+        accel=ctx.accel,
+        latency=score.latency,
+        throughput=ctx.model.throughput(score.latency),
+        onchip_tensors=score.onchip,
+        residuals=score.residuals,
+        node_latencies=score.node_latencies,
+        feature_result=feature if feature is not None else empty_feature_result(),
+        prefetch_result=prefetch if prefetch is not None else empty_prefetch_result(),
+        dnnk_result=allocation.result,
+        physical_buffers=placement.buffers,
+        sram_usage=placement.usage,
+        splitting_iterations=allocation.splitting_iterations,
+        fractions=ctx.get("fractions", {}),
+        engine_stats=ctx.stats,
+        diagnostics=tuple(ctx.diagnostics),
+        pipeline_description=manager.description(),
+        pass_timings=manager.timings(),
+    )
 
 
 def run_lcmm(
@@ -208,6 +160,7 @@ def run_lcmm(
     accel: AcceleratorConfig,
     options: LCMMOptions | None = None,
     model: LatencyModel | None = None,
+    pipeline: Sequence[Pass] | None = None,
 ) -> LCMMResult:
     """Run the full LCMM pipeline on a model and design point.
 
@@ -216,221 +169,15 @@ def run_lcmm(
         accel: The accelerator design point (from DSE).
         options: Feature switches; defaults enable everything.
         model: Optional pre-built latency model to reuse.
+        pipeline: Optional explicit pass list, overriding the default
+            assembled from ``options`` — the entry point for custom and
+            ablation pipelines (it must still produce the
+            ``"allocation"``, ``"score"`` and ``"placement"`` artifacts).
     """
     options = options or LCMMOptions()
-    model = model or LatencyModel(graph, accel)
-    engine = AllocationEngine(model) if options.use_engine else None
-    stats = engine.stats if engine is not None else None
-
-    def timed(name: str):
-        return stats.time_pass(name) if stats is not None else contextlib.nullcontext()
-
-    with timed("feature_reuse"):
-        feature = (
-            feature_reuse_pass(graph, model)
-            if options.feature_reuse
-            else _empty_feature_result()
-        )
-    with timed("weight_prefetch"):
-        prefetch = (
-            weight_prefetch_pass(graph, model)
-            if options.weight_prefetch
-            else _empty_prefetch_result()
-        )
-
-    budget = options.sram_budget
-    if budget is None:
-        budget = accel.device.sram_bytes
-    # Tile buffers consume whole BRAM blocks; subtract the block-rounded
-    # footprint so the block-level placement below can never overflow.
-    tile_bytes = blocks_for(accel.tile_buffer_bytes(), BRAM36_BYTES) * BRAM36_BYTES
-    capacity = budget - tile_bytes
-    if capacity < 0:
-        raise ValueError(
-            f"tile buffers alone exceed the SRAM budget ({tile_bytes} > {budget} bytes)"
-        )
-
-    def evaluate(onchip: frozenset[str]) -> float:
-        residuals = _compute_residuals(model, prefetch, onchip, engine)
-        if engine is not None:
-            engine.set_state(onchip, residuals)
-            return engine.total()
-        return model.total_latency(onchip, residuals)
-
-    with timed("allocate"):
-        if options.use_greedy:
-            buffers = combine_buffers([feature.buffers, prefetch.buffers])
-            dnnk = greedy_allocate(buffers, model, capacity, engine=engine)
-            splits = 0
-        elif options.splitting:
-            outcome = buffer_splitting_pass(
-                feature.interference,
-                prefetch.interference,
-                model,
-                capacity,
-                evaluate,
-                granularity=options.granularity,
-                engine=engine,
-            )
-            buffers, dnnk, splits = outcome.buffers, outcome.result, outcome.iterations
-            # The splitting loop may have added false edges; refresh the
-            # per-pass buffer views so they stay consistent with their graphs.
-            feature.buffers = color_buffers(feature.interference)
-            prefetch.buffers = color_buffers(prefetch.interference)
-        else:
-            buffers = combine_buffers([feature.buffers, prefetch.buffers])
-            dnnk = dnnk_allocate(
-                buffers, model, capacity, options.granularity, engine=engine
-            )
-            splits = 0
-
-    with timed("score"):
-        onchip = dnnk.onchip_tensors
-        residuals = _compute_residuals(model, prefetch, onchip, engine)
-        if engine is not None:
-            engine.set_state(onchip, residuals)
-            latency = engine.total()
-            node_latencies = engine.node_latencies()
-        else:
-            latency = model.total_latency(onchip, residuals)
-            node_latencies = {
-                name: model.node_latency(name, onchip, residuals)
-                for name in model.nodes()
-            }
-
-    # Optional fixpoint refinement: re-derive prefetch windows from the
-    # achieved (faster) schedule, re-colour the weight buffers with the
-    # new lifespans and re-allocate; keep each iteration only if the
-    # exact latency improves.
-    for _ in range(options.prefetch_refinement):
-        if not options.weight_prefetch:
-            break
-        with timed("refinement"):
-            refined = weight_prefetch_pass(graph, model, node_latencies)
-            refined_buffers = combine_buffers([feature.buffers, refined.buffers])
-            if options.use_greedy:
-                refined_dnnk = greedy_allocate(
-                    refined_buffers, model, capacity, engine=engine
-                )
-            else:
-                refined_dnnk = dnnk_allocate(
-                    refined_buffers, model, capacity, options.granularity, engine=engine
-                )
-            refined_onchip = refined_dnnk.onchip_tensors
-            refined_residuals = _compute_residuals(model, refined, refined_onchip, engine)
-            if engine is not None:
-                engine.set_state(refined_onchip, refined_residuals)
-                refined_latency = engine.total()
-            else:
-                refined_latency = model.total_latency(refined_onchip, refined_residuals)
-        if refined_latency >= latency - 1e-15:
-            break
-        prefetch, dnnk = refined, refined_dnnk
-        buffers, onchip = refined_buffers, refined_onchip
-        residuals, latency = refined_residuals, refined_latency
-        if engine is not None:
-            node_latencies = engine.node_latencies()
-        else:
-            node_latencies = {
-                name: model.node_latency(name, onchip, residuals)
-                for name in model.nodes()
-            }
-
-    # A rejected refinement (or any evaluate() probe) may have left the
-    # engine on a trial state; park it on the accepted allocation so the
-    # fractional-fill deltas below start from the right baseline.
-    if engine is not None:
-        engine.set_state(onchip, residuals)
-
-    # Place tile buffers (BRAM) then tensor buffers (URAM first) in blocks.
-    usage = SRAMUsage(budget=accel.device.sram)
-    usage.bram36_used += blocks_for(accel.tile_buffer_bytes(), BRAM36_BYTES)
-    physical = []
-    for idx, vbuf in enumerate(dnnk.allocated):
-        uram, bram = usage.allocate(vbuf.size_bytes)
-        physical.append(
-            PhysicalBuffer(
-                index=idx, virtual=vbuf, uram_blocks=uram, bram36_blocks=bram
-            )
-        )
-
-    # Extension: fill the capacity a whole-tensor knapsack strands with
-    # partial pins of spilled feature tensors.  The resident channel
-    # slice stops streaming; the remainder still pays DDR transfer.
-    fractions: dict[str, float] = {}
-    if options.fractional_fill:
-        with timed("fractional_fill"):
-            allocated_bytes = sum(
-                blocks_for(b.size_bytes, options.granularity) * options.granularity
-                for b in dnnk.allocated
-            )
-            leftover = capacity - allocated_bytes
-            spill_candidates = sorted(
-                (
-                    c
-                    for c in feature.candidates
-                    if c.name not in onchip and c.latency_reduction > 0
-                ),
-                key=lambda c: -c.latency_reduction / c.size_bytes,
-            )
-            for cand in spill_candidates:
-                if leftover < options.granularity:
-                    break
-                # Partial pins occupy whole blocks: floor the usable slice to
-                # the capacity quantum so block-level placement cannot
-                # overflow the budget.
-                usable = min(
-                    (leftover // options.granularity) * options.granularity,
-                    blocks_for(cand.size_bytes, options.granularity)
-                    * options.granularity,
-                )
-                fraction = min(1.0, usable / cand.size_bytes)
-                if fraction <= 0.0:
-                    continue
-                trial = dict(fractions)
-                trial[cand.name] = fraction
-                if engine is not None:
-                    # One-tensor incremental pin; rolled back on rejection.
-                    engine.apply(fractions={cand.name: fraction})
-                    trial_latency = engine.total()
-                else:
-                    trial_latency = model.total_latency(onchip, residuals, trial)
-                accepted = False
-                if trial_latency < latency - 1e-15:
-                    block_bytes = blocks_for(
-                        min(usable, cand.size_bytes), options.granularity
-                    ) * options.granularity
-                    if block_bytes <= leftover and usage.can_fit(block_bytes):
-                        usage.allocate(block_bytes)
-                        fractions = trial
-                        latency = trial_latency
-                        leftover -= block_bytes
-                        accepted = True
-                if engine is not None and not accepted:
-                    engine.undo()
-            if fractions:
-                if engine is not None:
-                    node_latencies = engine.node_latencies()
-                else:
-                    node_latencies = {
-                        name: model.node_latency(name, onchip, residuals, fractions)
-                        for name in model.nodes()
-                    }
-
-    return LCMMResult(
-        graph_name=graph.name,
-        accel=accel,
-        latency=latency,
-        throughput=model.throughput(latency),
-        onchip_tensors=onchip,
-        residuals=residuals,
-        node_latencies=node_latencies,
-        feature_result=feature,
-        prefetch_result=prefetch,
-        dnnk_result=dnnk,
-        physical_buffers=physical,
-        sram_usage=usage,
-        splitting_iterations=splits,
-        fractions=fractions,
-        engine_stats=stats,
+    ctx = CompilationContext.create(graph, accel, options=options, model=model)
+    manager = PassManager(
+        list(pipeline) if pipeline is not None else default_pipeline(options)
     )
+    manager.run(ctx)
+    return package_result(ctx, manager)

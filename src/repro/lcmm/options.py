@@ -1,0 +1,58 @@
+"""Feature switches of the LCMM framework.
+
+Lives in its own module so both the thin driver
+(:mod:`repro.lcmm.framework`) and the pass pipeline
+(:mod:`repro.lcmm.passes`) can import it without a cycle; the framework
+re-exports :class:`LCMMOptions` for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.sram import URAM_BYTES
+
+
+@dataclass
+class LCMMOptions:
+    """Feature switches of the framework (used by the ablation benches).
+
+    :func:`repro.lcmm.passes.default_pipeline` translates an options
+    object into the pass list the PassManager executes; ablations can
+    bypass the flags entirely and assemble a pipeline by pass name.
+
+    Attributes:
+        feature_reuse: Enable the feature buffer reuse pass.
+        weight_prefetch: Enable the weight prefetching pass.
+        splitting: Enable the buffer splitting pass.
+        use_greedy: Replace DNNK with the density-greedy allocator.
+        granularity: DNNK capacity quantum in bytes.
+        sram_budget: Override the on-chip memory available to LCMM
+            (tile buffers included); defaults to the whole device.
+        prefetch_refinement: Extra fixpoint iterations of the prefetch
+            pass.  The paper computes hiding windows once, against UMM
+            latencies; each refinement recomputes them against the
+            latencies of the current allocation (which are shorter, so
+            windows shrink and spans lengthen) and re-allocates.  Kept at
+            0 by default for paper fidelity.
+        fractional_fill: After DNNK, fill leftover capacity with *partial*
+            pins of spilled feature tensors — the resident channel slice
+            stops streaming, the remainder still pays DDR.  An extension
+            beyond the paper (off by default): whole-tensor knapsacks
+            strand capacity smaller than any remaining tensor.
+        use_engine: Evaluate allocations on the incremental
+            :class:`repro.perf.engine.AllocationEngine` instead of walking
+            the latency model per query.  Results are bit-for-bit
+            identical either way; the naive route exists as the test
+            oracle.
+    """
+
+    feature_reuse: bool = True
+    weight_prefetch: bool = True
+    splitting: bool = True
+    use_greedy: bool = False
+    granularity: int = URAM_BYTES
+    sram_budget: int | None = None
+    prefetch_refinement: int = 0
+    fractional_fill: bool = False
+    use_engine: bool = True

@@ -1,0 +1,310 @@
+"""Pass infrastructure: Pass protocol, CompilationContext, PassManager.
+
+The LCMM flow (Fig. 4 of the paper) is literally a compiler pipeline —
+feature reuse, prefetching, knapsack allocation, splitting — so it is
+organised as one: each technique is a :class:`Pass` over a shared
+:class:`CompilationContext`, and a :class:`PassManager` executes a
+declarative pass list with uniform per-pass wall-time accounting,
+requires/produces validation and structured :class:`PassDiagnostic`
+records.
+
+Passes communicate exclusively through named context *artifacts*
+(``"feature"``, ``"prefetch"``, ``"allocation"``, ``"score"``,
+``"placement"``, ``"fractions"``).  An artifact is replaced, never
+patched in place: a pass that refines an earlier result publishes a new
+object under the same key, so every intermediate stays a consistent
+value (see the buffer-splitting recolour, which used to mutate
+``FeatureReuseResult.buffers`` after the fact).
+
+A module-level registry maps pass names to classes; user-defined passes
+register with :func:`register_pass` and slot into any pipeline without
+touching the framework (``examples/custom_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.hw.sram import BRAM36_BYTES, blocks_for
+from repro.ir.graph import ComputationGraph
+from repro.lcmm.options import LCMMOptions
+from repro.perf.engine import AllocationEngine, EngineStats
+from repro.perf.latency import LatencyModel
+from repro.perf.systolic import AcceleratorConfig
+
+
+class PipelineError(RuntimeError):
+    """A pipeline is malformed: unknown pass, or artifact contract broken."""
+
+
+@dataclass(frozen=True)
+class PassDiagnostic:
+    """One structured observation emitted by a pass.
+
+    Attributes:
+        pass_name: The emitting pass.
+        category: Machine-matchable kebab-case tag (e.g.
+            ``"split-accepted"``, ``"refinement-rejected"``).
+        message: Human-readable one-liner for ``lcmm run --explain``.
+        data: Supporting values (byte counts, latency deltas, tensor
+            names) for programmatic consumers.
+    """
+
+    pass_name: str
+    category: str
+    message: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.pass_name}] {self.message}"
+
+
+@dataclass(frozen=True)
+class PassExecution:
+    """Record of one executed pass: name, wall time, artifacts written."""
+
+    name: str
+    seconds: float
+    produced: tuple[str, ...]
+
+
+@dataclass
+class CompilationContext:
+    """Everything the passes share: inputs, evaluators, artifacts.
+
+    Attributes:
+        graph: The DNN computation graph under compilation.
+        accel: The accelerator design point.
+        options: Feature switches (passes read their knobs from here).
+        model: Exact Eq. 1 latency model.
+        engine: Incremental evaluator, or ``None`` on the naive oracle
+            path (``options.use_engine=False``).
+        stats: The engine's counters/timing sink (``None`` without one).
+        budget: Total SRAM bytes available to LCMM (tile buffers
+            included).
+        capacity: Bytes left for tensor buffers after the block-rounded
+            tile-buffer footprint.
+        artifacts: Named pass outputs; replaced, never mutated.
+        diagnostics: Structured records accumulated across all passes.
+    """
+
+    graph: ComputationGraph
+    accel: AcceleratorConfig
+    options: LCMMOptions
+    model: LatencyModel
+    engine: AllocationEngine | None
+    stats: EngineStats | None
+    budget: int
+    capacity: int
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    diagnostics: list[PassDiagnostic] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        graph: ComputationGraph,
+        accel: AcceleratorConfig,
+        options: LCMMOptions | None = None,
+        model: LatencyModel | None = None,
+    ) -> "CompilationContext":
+        """Build a context: latency model, engine, capacity accounting.
+
+        Raises:
+            ValueError: When the tile buffers alone exceed the SRAM
+                budget — no tensor allocation is possible.
+        """
+        options = options or LCMMOptions()
+        model = model or LatencyModel(graph, accel)
+        engine = AllocationEngine(model) if options.use_engine else None
+        budget = options.sram_budget
+        if budget is None:
+            budget = accel.device.sram_bytes
+        # Tile buffers consume whole BRAM blocks; subtract the block-rounded
+        # footprint so block-level placement can never overflow.
+        tile_bytes = blocks_for(accel.tile_buffer_bytes(), BRAM36_BYTES) * BRAM36_BYTES
+        capacity = budget - tile_bytes
+        if capacity < 0:
+            raise ValueError(
+                f"tile buffers alone exceed the SRAM budget ({tile_bytes} > {budget} bytes)"
+            )
+        return cls(
+            graph=graph,
+            accel=accel,
+            options=options,
+            model=model,
+            engine=engine,
+            stats=engine.stats if engine is not None else None,
+            budget=budget,
+            capacity=capacity,
+        )
+
+    # -- artifact access ------------------------------------------------
+    def has(self, key: str) -> bool:
+        """Whether an artifact has been produced."""
+        return key in self.artifacts
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """An artifact, or ``default`` when no pass produced it."""
+        return self.artifacts.get(key, default)
+
+    def require(self, key: str) -> Any:
+        """An artifact that must exist; raises :class:`PipelineError`."""
+        try:
+            return self.artifacts[key]
+        except KeyError:
+            raise PipelineError(
+                f"artifact {key!r} required but no executed pass produced it"
+            ) from None
+
+    def put(self, key: str, value: Any) -> None:
+        """Publish (or replace) an artifact."""
+        self.artifacts[key] = value
+
+    def diagnose(self, pass_name: str, category: str, message: str, **data: Any) -> None:
+        """Append one structured diagnostic record."""
+        self.diagnostics.append(
+            PassDiagnostic(
+                pass_name=pass_name, category=category, message=message, data=data
+            )
+        )
+
+
+class Pass(abc.ABC):
+    """One stage of the LCMM pipeline.
+
+    Subclasses declare a unique ``name``, the artifacts they consume
+    (``requires``) and publish (``produces``), and implement
+    :meth:`run`.  Declared artifacts are contracts the PassManager
+    enforces before and after each run; optional inputs a pass can
+    default (e.g. the allocator treating a missing ``"prefetch"`` as
+    empty) are read with ``ctx.get`` and deliberately left undeclared.
+    """
+
+    #: Registry identity; also the per-pass timing key.
+    name: str = ""
+    #: Artifacts that must exist before this pass runs.
+    requires: tuple[str, ...] = ()
+    #: Artifacts guaranteed to exist after this pass runs.
+    produces: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def run(self, ctx: CompilationContext) -> None:
+        """Execute against the shared context."""
+
+    @classmethod
+    def describe(cls) -> str:
+        """First docstring line — the ``lcmm passes`` summary."""
+        doc = cls.__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+#: All registered pass classes by name (populated by :func:`register_pass`).
+PASS_REGISTRY: dict[str, type[Pass]] = {}
+
+
+def register_pass(cls: type[Pass]) -> type[Pass]:
+    """Class decorator adding a pass to the global registry.
+
+    Raises:
+        PipelineError: On a missing or already-registered name.
+    """
+    if not cls.name:
+        raise PipelineError(f"pass class {cls.__name__} has no name")
+    if cls.name in PASS_REGISTRY:
+        raise PipelineError(f"pass name {cls.name!r} already registered")
+    PASS_REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_passes() -> dict[str, type[Pass]]:
+    """The registry, sorted by pass name."""
+    return dict(sorted(PASS_REGISTRY.items()))
+
+
+def make_pass(name: str) -> Pass:
+    """Instantiate a registered pass by name.
+
+    Raises:
+        PipelineError: On an unknown name.
+    """
+    try:
+        return PASS_REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(PASS_REGISTRY))
+        raise PipelineError(f"unknown pass {name!r}; registered: {known}") from None
+
+
+def pipeline_from_names(names: Iterable[str]) -> list[Pass]:
+    """Assemble a pipeline from registered pass names, in order."""
+    return [make_pass(name) for name in names]
+
+
+class PassManager:
+    """Executes a pass list over a context with timing and validation.
+
+    Every pass gets uniform wall-time accounting (mirrored into
+    ``EngineStats.pass_seconds`` when an engine is attached, which is
+    what ``lcmm run --profile-passes`` prints) and its requires/produces
+    contract checked; violations raise :class:`PipelineError` naming the
+    pass and the artifact.
+
+    Args:
+        passes: The pipeline, in execution order.
+        observers: Optional callbacks ``(pass_, ctx, seconds)`` invoked
+            after each pass — validation or tracing hooks for tests and
+            tools.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[Pass],
+        observers: Iterable[Any] = (),
+    ) -> None:
+        self.passes: list[Pass] = list(passes)
+        self.observers = tuple(observers)
+        #: Per-pass execution records of the most recent :meth:`run`.
+        self.executions: list[PassExecution] = []
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        """Execute the pipeline; returns the same context for chaining."""
+        self.executions = []
+        for pass_ in self.passes:
+            for key in pass_.requires:
+                if not ctx.has(key):
+                    raise PipelineError(
+                        f"pass {pass_.name!r} requires artifact {key!r}, "
+                        "which no earlier pass produced"
+                    )
+            start = time.perf_counter()
+            pass_.run(ctx)
+            elapsed = time.perf_counter() - start
+            for key in pass_.produces:
+                if not ctx.has(key):
+                    raise PipelineError(
+                        f"pass {pass_.name!r} declares it produces {key!r} "
+                        "but did not publish it"
+                    )
+            if ctx.stats is not None:
+                ctx.stats.pass_seconds[pass_.name] = (
+                    ctx.stats.pass_seconds.get(pass_.name, 0.0) + elapsed
+                )
+            self.executions.append(
+                PassExecution(
+                    name=pass_.name, seconds=elapsed, produced=tuple(pass_.produces)
+                )
+            )
+            for observer in self.observers:
+                observer(pass_, ctx, elapsed)
+        return ctx
+
+    def description(self) -> str:
+        """The pipeline as ``a -> b -> c`` (executed order when run)."""
+        names = [e.name for e in self.executions] or [p.name for p in self.passes]
+        return " -> ".join(names)
+
+    def timings(self) -> tuple[tuple[str, float], ...]:
+        """Per-pass wall seconds of the most recent run, in order."""
+        return tuple((e.name, e.seconds) for e in self.executions)

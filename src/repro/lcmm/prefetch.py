@@ -13,7 +13,7 @@ weight buffers be shared between nodes with disjoint spans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ir.graph import ComputationGraph
 from repro.ir.tensor import TensorKind, weight_tensor_name
@@ -53,9 +53,12 @@ class PrefetchEdge:
         return max(0.0, self.load_time - self.hidden_time)
 
 
-@dataclass
+@dataclass(frozen=True)
 class PrefetchResult:
     """Output of the weight prefetching pass.
+
+    Frozen: refinements republish a new result object rather than
+    mutating one already handed out (see the splitting recolour).
 
     Attributes:
         edges: Prefetch edges by node name (the PDG).

@@ -13,7 +13,7 @@ if the exact end-to-end latency improves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.hw.sram import URAM_BYTES
@@ -28,6 +28,23 @@ from repro.perf.latency import LatencyModel
 DEFAULT_MAX_ITERATIONS = 10
 
 
+@dataclass(frozen=True)
+class SplitAttempt:
+    """One false-edge trial of the splitting loop.
+
+    Attributes:
+        tensor_a: The size-defining tensor separated out.
+        tensor_b: The buffer-mate it was split away from.
+        latency: Exact end-to-end latency after the re-allocation.
+        accepted: Whether the split improved latency and was kept.
+    """
+
+    tensor_a: str
+    tensor_b: str
+    latency: float
+    accepted: bool
+
+
 @dataclass
 class SplittingOutcome:
     """Result of the iterative splitting loop.
@@ -38,6 +55,8 @@ class SplittingOutcome:
         latency: Exact end-to-end latency of the final allocation.
         iterations: Splitting iterations actually applied (kept ones).
         false_edges: False edges inserted across both interference graphs.
+        attempts: Every split trialled, accepted or not, in order —
+            the raw material for pipeline diagnostics.
     """
 
     buffers: list[VirtualBuffer]
@@ -45,6 +64,7 @@ class SplittingOutcome:
     latency: float
     iterations: int
     false_edges: int
+    attempts: tuple[SplitAttempt, ...] = ()
 
 
 def combine_buffers(groups: list[list[VirtualBuffer]]) -> list[VirtualBuffer]:
@@ -118,6 +138,7 @@ def buffer_splitting_pass(
     )
 
     edges_added = 0
+    attempts: list[SplitAttempt] = []
     for iteration in range(1, max_iterations + 1):
         split = _pick_split(best.result)
         if split is None:
@@ -129,7 +150,16 @@ def buffer_splitting_pass(
         graph.add_false_edge(tensor_a, tensor_b)
         edges_added += 1
         buffers, result, latency = recolor_and_allocate()
-        if latency < best.latency - 1e-15:
+        accepted = latency < best.latency - 1e-15
+        attempts.append(
+            SplitAttempt(
+                tensor_a=tensor_a,
+                tensor_b=tensor_b,
+                latency=latency,
+                accepted=accepted,
+            )
+        )
+        if accepted:
             best = SplittingOutcome(
                 buffers=buffers,
                 result=result,
@@ -141,4 +171,4 @@ def buffer_splitting_pass(
             # The split did not pay off; keep the edge (it is harmless for
             # correctness) but stop exploring further splits.
             break
-    return best
+    return replace(best, attempts=tuple(attempts))

@@ -101,6 +101,20 @@ class TestCommands:
         contents = open(target).read()
         assert contents.startswith(("digraph", "graph"))
 
+    def test_passes_command(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        assert "allocate_splitting" in out
+        assert "requires:" in out and "produces:" in out
+        assert "Default pipeline:" in out
+
+    def test_run_explain(self, capsys):
+        assert main(["run", "googlenet", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline: feature_reuse -> weight_prefetch" in out
+        assert "Diagnostics" in out
+        assert "[feature_reuse]" in out
+
     def test_run_profile_passes(self, capsys):
         assert main(["run", "googlenet", "--profile-passes"]) == 0
         out = capsys.readouterr().out

@@ -20,8 +20,16 @@ from hypothesis import given, settings, strategies as st
 
 from repro.ir.graph import ComputationGraph
 from repro.ir.layer import Concat, EltwiseAdd, InputLayer
-from repro.ir.tensor import FeatureMapShape
+from repro.ir.tensor import FeatureMapShape, weight_tensor_name
 from repro.lcmm.framework import LCMMOptions, run_lcmm
+from repro.lcmm.passes import (
+    CompilationContext,
+    PassManager,
+    default_pipeline,
+    empty_prefetch_result,
+    evaluate_allocation,
+)
+from repro.lcmm.prefetch import weight_prefetch_pass
 from repro.models.common import conv
 from repro.models.zoo import build_googlenet, build_squeezenet
 from repro.perf.engine import AllocationEngine, EngineStats
@@ -84,6 +92,22 @@ def engine_cases(draw):
         if t not in onchip and draw(st.booleans())
     }
     return model, frozenset(onchip), residuals, fractions
+
+
+@st.composite
+def refined_option_cases(draw):
+    """(graph, options) with refinement on and fractional fill drawn.
+
+    ``ddr_efficiency=0.1`` in the consuming tests makes most layers
+    memory bound, so prefetch edges carry real residuals and the
+    refinement loop actually accepts/rejects iterations.
+    """
+    graph = draw(random_dags())
+    options = LCMMOptions(
+        prefetch_refinement=draw(st.integers(min_value=1, max_value=2)),
+        fractional_fill=draw(st.booleans()),
+    )
+    return graph, options
 
 
 # ---------------------------------------------------------------------------
@@ -196,6 +220,35 @@ class TestEngineMechanics:
         assert stats.pass_seconds["demo"] >= 0.0
 
 
+class TestAllocatorProbe:
+    """evaluate_allocation is the allocator's scoring hot path: one
+    engine transition per probe (plus one residual patch at most)."""
+
+    def test_probe_without_residuals_is_one_transition(self, snippet_model):
+        engine = AllocationEngine(snippet_model)
+        onchip = frozenset(["w:C1"])
+        before = engine.stats.applies
+        residuals, latency = evaluate_allocation(
+            snippet_model, empty_prefetch_result(), onchip, engine
+        )
+        assert engine.stats.applies - before == 1
+        assert residuals == {}
+        assert latency == snippet_model.total_latency(onchip, {})
+        assert engine.onchip() == onchip
+
+    def test_probe_with_residuals_is_at_most_two_transitions(self):
+        graph = build_snippet()
+        model = LatencyModel(graph, small_accel(ddr_efficiency=0.1))
+        prefetch = weight_prefetch_pass(graph, model)
+        engine = AllocationEngine(model)
+        onchip = frozenset(weight_tensor_name(n) for n in prefetch.edges)
+        before = engine.stats.applies
+        residuals, latency = evaluate_allocation(model, prefetch, onchip, engine)
+        assert engine.stats.applies - before == (2 if residuals else 1)
+        assert latency == model.total_latency(onchip, residuals)
+        assert engine.total() == latency
+
+
 # ---------------------------------------------------------------------------
 # End-to-end parity: run_lcmm with the engine on vs off
 # ---------------------------------------------------------------------------
@@ -251,10 +304,38 @@ class TestRunParity:
             LCMMOptions(prefetch_refinement=1, fractional_fill=True),
         )
 
+    @given(refined_option_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_refined_fractional_parity_random(self, case):
+        graph, options = case
+        _assert_runs_identical(graph, small_accel(ddr_efficiency=0.1), options)
+
+    @given(refined_option_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_leaves_engine_on_accepted_state(self, case):
+        # A rejected refinement iteration probes a trial allocation; the
+        # pipeline must park the engine back on the accepted state so
+        # later incremental work starts from the right baseline.
+        graph, options = case
+        ctx = CompilationContext.create(
+            graph, small_accel(ddr_efficiency=0.1), options=options
+        )
+        PassManager(default_pipeline(options)).run(ctx)
+        score = ctx.require("score")
+        assert ctx.engine.onchip() == score.onchip
+        assert ctx.engine.total() == score.latency
+        for node, expected in score.node_latencies.items():
+            assert ctx.engine.node_latency(node) == expected
+
     def test_engine_stats_report_passes(self):
         result = run_lcmm(build_snippet(), small_accel())
         stats = result.engine_stats
         assert stats is not None
-        for name in ("feature_reuse", "weight_prefetch", "allocate", "score"):
-            assert stats.pass_seconds.get(name, 0.0) >= 0.0
+        executed = [name for name, _ in result.pass_timings]
+        assert executed == [
+            "feature_reuse", "weight_prefetch", "allocate_splitting",
+            "score", "placement",
+        ]
+        for name in executed:
+            assert name in stats.pass_seconds
         assert stats.node_evaluations > 0
