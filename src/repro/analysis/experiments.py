@@ -145,15 +145,29 @@ def run_comparison(
     precision: Precision,
     options: LCMMOptions | None = None,
     graph: ComputationGraph | None = None,
+    strict: bool = False,
+    fallback: bool = True,
 ) -> DesignComparison:
-    """Evaluate one benchmark at one precision under UMM and LCMM."""
+    """Evaluate one benchmark at one precision under UMM and LCMM.
+
+    ``strict`` and ``fallback`` are forwarded to
+    :func:`~repro.lcmm.framework.run_lcmm` (invariant checking after each
+    pass, and the degradation chain on pipeline failure).
+    """
     graph = graph or get_model(model_name)
     accel_umm = reference_design(model_name, precision, "umm")
     accel_lcmm = reference_design(model_name, precision, "lcmm")
     umm_model = LatencyModel(graph, accel_umm)
     lcmm_model = LatencyModel(graph, accel_lcmm)
     umm = run_umm(graph, accel_umm, umm_model)
-    lcmm = run_lcmm(graph, accel_lcmm, options=options, model=lcmm_model)
+    lcmm = run_lcmm(
+        graph,
+        accel_lcmm,
+        options=options,
+        model=lcmm_model,
+        strict=strict,
+        fallback=fallback,
+    )
     return DesignComparison(
         model_name=model_name,
         precision=precision,

@@ -36,8 +36,22 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.metrics import average_speedup
 from repro.analysis.report import format_table
+from repro.errors import ReproError
 from repro.hw.precision import precision_by_name
+from repro.ir.graph import ComputationGraph
 from repro.models.zoo import get_model
+
+
+def _load_model(name: str) -> ComputationGraph:
+    """Build and structurally validate a model at the CLI boundary.
+
+    Unknown names and malformed graphs surface as :class:`ReproError`
+    subclasses, which :func:`main` turns into a one-line message and a
+    non-zero exit instead of a traceback.
+    """
+    graph = get_model(name)
+    graph.validate()
+    return graph
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -160,7 +174,12 @@ def _cmd_fig8(args: argparse.Namespace) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
-    cmp = run_comparison(args.model, precision_by_name(args.precision))
+    cmp = run_comparison(
+        args.model,
+        precision_by_name(args.precision),
+        strict=args.strict,
+        fallback=not args.no_fallback,
+    )
     print(f"Model:      {cmp.model_name} ({args.precision})")
     print(f"UMM:        {cmp.umm.latency * 1e3:.3f} ms  ({cmp.umm.tops:.3f} Tops)")
     print(f"LCMM:       {cmp.lcmm.latency * 1e3:.3f} ms  ({cmp.lcmm.tops:.3f} Tops)")
@@ -176,6 +195,22 @@ def _cmd_run(args: argparse.Namespace) -> None:
         print(f"\nPipeline: {result.pipeline_description}")
         for name, seconds in result.pass_timings:
             print(f"  {name:18s} {seconds * 1e3:9.3f} ms")
+        if result.degradation_level:
+            path = " -> ".join(result.degradation_path) or "-"
+            print(
+                f"Degradation: level {result.degradation_level} "
+                f"(failed attempts: {path})"
+            )
+        else:
+            print("Degradation: none (requested pipeline succeeded)")
+        recovery = [
+            d for d in result.diagnostics
+            if d.category in ("pass-failed", "degraded")
+        ]
+        if recovery:
+            print(f"Recovery events ({len(recovery)}):")
+            for diag in recovery:
+                print(f"  {diag}")
         if result.diagnostics:
             print(f"Diagnostics ({len(result.diagnostics)}):")
             for diag in result.diagnostics:
@@ -261,7 +296,7 @@ def _cmd_export(args: argparse.Namespace) -> None:
     from repro.lcmm.framework import run_lcmm
     from repro.perf.latency import LatencyModel
 
-    graph = get_model(args.model)
+    graph = _load_model(args.model)
     accel = reference_design(
         args.model if args.model in BENCHMARKS else "resnet152",
         precision_by_name(args.precision),
@@ -326,7 +361,7 @@ def _cmd_dot(args: argparse.Namespace) -> None:
     from repro.lcmm.framework import run_lcmm
     from repro.perf.latency import LatencyModel
 
-    graph = get_model(args.model)
+    graph = _load_model(args.model)
     design_key = args.model if args.model in BENCHMARKS else "resnet152"
     accel = reference_design(design_key, precision_by_name(args.precision), "lcmm")
     model = LatencyModel(graph, accel)
@@ -345,16 +380,17 @@ def _cmd_dot(args: argparse.Namespace) -> None:
 
 
 def _cmd_dse(args: argparse.Namespace) -> None:
-    from repro.perf.dse import explore_designs
+    from repro.perf.dse import WorkerStats, explore_designs
 
-    graph = get_model(args.model)
+    graph = _load_model(args.model)
     base = reference_design(
         args.model if args.model in BENCHMARKS else "resnet152",
         precision_by_name(args.precision),
         "lcmm",
     )
     budget = int(args.budget * 2**20)
-    points = explore_designs(graph, base, budget, workers=args.workers)
+    stats = WorkerStats()
+    points = explore_designs(graph, base, budget, workers=args.workers, stats=stats)
     print(
         f"Tile DSE on {graph.name} ({args.precision}), "
         f"{args.budget:.1f} MB tile-buffer budget, "
@@ -365,6 +401,14 @@ def _cmd_dse(args: argparse.Namespace) -> None:
             f"  {str(point.accel.tile):28s} "
             f"UMM {point.umm_latency * 1e3:8.3f} ms  "
             f"tile buffers {point.tile_buffer_bytes / 2**20:5.2f} MB"
+        )
+    if stats.recovered():
+        print(
+            "Worker recovery: "
+            f"{stats.retries} retries, {stats.timeouts} timeouts, "
+            f"{stats.serial_chunks} chunks re-scored serially"
+            + (", pool broken" if stats.pool_broken else "")
+            + (", pool unavailable" if stats.pool_unavailable else "")
         )
 
 
@@ -426,6 +470,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="print the executed pipeline, per-pass timings and diagnostics",
+    )
+    prun.add_argument(
+        "--strict",
+        action="store_true",
+        help="run invariant checks after every pass (fail fast on corruption)",
+    )
+    prun.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the degradation chain: a pipeline failure is fatal",
     )
     prun.set_defaults(func=_cmd_run)
 
@@ -495,9 +549,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Any :class:`~repro.errors.ReproError` — unknown model, invalid graph,
+    infeasible budget, pipeline failure with fallback disabled... — is
+    reported as a single actionable line on stderr with exit status 1.
+    """
     args = build_parser().parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

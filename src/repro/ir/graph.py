@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import GraphValidationError
 from repro.ir.layer import Concat, Layer, OpType
 from repro.ir.tensor import (
     FeatureMapShape,
@@ -20,9 +21,7 @@ from repro.ir.tensor import (
     weight_tensor_name,
 )
 
-
-class GraphValidationError(ValueError):
-    """Raised when a graph is malformed (cycles, dangling inputs...)."""
+__all__ = ["ComputationGraph", "GraphValidationError"]
 
 
 @dataclass

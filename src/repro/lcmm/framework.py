@@ -10,6 +10,17 @@ caller-supplied pass list), executes it through a
 :class:`~repro.lcmm.passes.PassManager`, and packages the context
 artifacts into an :class:`LCMMResult`.
 
+**Fault tolerance.**  The paper's value proposition is that LCMM never
+does worse than UMM, so a crashing pass must degrade, not abort: by
+default :func:`run_lcmm` falls back along a degradation chain — the
+requested pipeline, then plain DNNK, then the greedy allocator, then a
+pure UMM result built without any pass machinery at all — and records
+the level it landed on in :attr:`LCMMResult.degradation_level` plus a
+``degraded`` diagnostic per abandoned attempt.  ``fallback=False``
+restores fail-fast behaviour; ``strict=True`` additionally runs each
+pass's invariant check in-line (see
+:class:`~repro.lcmm.passes.PassManager`).
+
 The result carries the exact end-to-end latency (Eq. 1 with prefetch
 residuals), the physical buffer map, the utilisation metrics Tab. 1,
 Tab. 2 and Fig. 8 report — and, new with the pipeline, the structured
@@ -19,10 +30,11 @@ per-pass diagnostics and the executed pipeline description that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
 
-from repro.hw.sram import SRAMUsage
+from repro.errors import PassError, PipelineError, ReproError
+from repro.hw.sram import BRAM36_BYTES, SRAMUsage, blocks_for
 from repro.ir.graph import ComputationGraph
 from repro.lcmm.buffers import PhysicalBuffer
 from repro.lcmm.feature_reuse import FeatureReuseResult
@@ -34,6 +46,7 @@ from repro.lcmm.passes import (
     PassDiagnostic,
     PassManager,
     default_pipeline,
+    empty_dnnk_result,
     empty_feature_result,
     empty_prefetch_result,
 )
@@ -42,7 +55,7 @@ from repro.perf.engine import EngineStats
 from repro.perf.latency import LatencyModel
 from repro.perf.systolic import AcceleratorConfig
 
-__all__ = ["LCMMOptions", "LCMMResult", "run_lcmm"]
+__all__ = ["LCMMOptions", "LCMMResult", "run_lcmm", "umm_only_result"]
 
 
 @dataclass
@@ -92,6 +105,12 @@ class LCMMResult:
     #: Per-pass wall seconds in execution order (available on the naive
     #: path too, unlike ``engine_stats.pass_seconds``).
     pass_timings: tuple[tuple[str, float], ...] = ()
+    #: How far the fallback chain had to degrade: 0 = the requested
+    #: pipeline succeeded, each +1 is one abandoned attempt (see
+    #: ``degradation_path``); the floor is a pure UMM result.
+    degradation_level: int = 0
+    #: Labels of the abandoned attempts, in order (e.g. ``("dnnk-splitting",)``).
+    degradation_path: tuple[str, ...] = ()
 
     @property
     def tops(self) -> float:
@@ -155,12 +174,91 @@ def package_result(ctx: CompilationContext, manager: PassManager) -> LCMMResult:
     )
 
 
+def umm_only_result(
+    graph: ComputationGraph,
+    accel: AcceleratorConfig,
+    model: LatencyModel | None = None,
+) -> LCMMResult:
+    """The degradation floor: a UMM schedule packaged as an LCMM result.
+
+    Built with plain loops over the pure latency model — no passes, no
+    engine, no colouring — so it stays reachable when any of that
+    machinery is the thing that is failing.  Every tensor streams from
+    DDR; latency equals the UMM latency by construction, which satisfies
+    every invariant :func:`repro.lcmm.validate.validate_result` checks.
+    """
+    model = model or LatencyModel(graph, accel)
+    latency = model.umm_latency()
+    usage = SRAMUsage(budget=accel.device.sram)
+    usage.bram36_used += blocks_for(accel.tile_buffer_bytes(), BRAM36_BYTES)
+    return LCMMResult(
+        graph_name=graph.name,
+        accel=accel,
+        latency=latency,
+        throughput=model.throughput(latency),
+        onchip_tensors=frozenset(),
+        residuals={},
+        node_latencies={name: model.node_latency(name) for name in model.nodes()},
+        feature_result=empty_feature_result(),
+        prefetch_result=empty_prefetch_result(),
+        dnnk_result=empty_dnnk_result(),
+        physical_buffers=[],
+        sram_usage=usage,
+        splitting_iterations=0,
+        pipeline_description="umm-only",
+    )
+
+
+#: Default per-pass recovery policy of the fallback-enabled driver: the
+#: optional improvement passes are skippable (the pipeline is already in
+#: a valid scored state when they run), everything else degrades the
+#: whole attempt.
+_DEFAULT_RECOVERY = {"refinement": "skip", "fractional_fill": "skip"}
+
+
+def _degradation_chain(
+    options: LCMMOptions,
+    pipeline: Sequence[Pass] | None,
+) -> list[tuple[str, LCMMOptions | None]]:
+    """The attempts :func:`run_lcmm` makes, strongest first.
+
+    Each entry is ``(label, attempt_options)``; ``attempt_options`` is
+    ``None`` for the final UMM-only floor, which bypasses the pass
+    machinery entirely.  Levels identical to the requested configuration
+    are dropped so the chain never repeats a failed attempt.
+    """
+    if pipeline is not None:
+        primary = "custom"
+    elif options.use_greedy:
+        primary = "greedy"
+    elif options.splitting:
+        primary = "dnnk-splitting"
+    else:
+        primary = "dnnk"
+    safe = replace(
+        options,
+        splitting=False,
+        use_greedy=False,
+        prefetch_refinement=0,
+        fractional_fill=False,
+    )
+    chain: list[tuple[str, LCMMOptions | None]] = [(primary, options)]
+    if primary != "dnnk":
+        chain.append(("dnnk", safe))
+    if primary != "greedy":
+        chain.append(("greedy", replace(safe, use_greedy=True)))
+    chain.append(("umm-only", None))
+    return chain
+
+
 def run_lcmm(
     graph: ComputationGraph,
     accel: AcceleratorConfig,
     options: LCMMOptions | None = None,
     model: LatencyModel | None = None,
     pipeline: Sequence[Pass] | None = None,
+    strict: bool = False,
+    fallback: bool = True,
 ) -> LCMMResult:
     """Run the full LCMM pipeline on a model and design point.
 
@@ -173,11 +271,68 @@ def run_lcmm(
             assembled from ``options`` — the entry point for custom and
             ablation pipelines (it must still produce the
             ``"allocation"``, ``"score"`` and ``"placement"`` artifacts).
+        strict: Run each pass's invariant check in-line (checked
+            execution); violations fail the attempt like any other pass
+            error.
+        fallback: Degrade along the chain *requested pipeline -> DNNK ->
+            greedy -> UMM-only* instead of raising; the landed level is
+            recorded in :attr:`LCMMResult.degradation_level`.  With
+            ``False``, the first failure propagates.
+
+    Raises:
+        repro.errors.ReproError: With ``fallback=False``, whatever the
+            failing pass raised; with ``fallback=True`` only if even the
+            UMM-only floor cannot be built (e.g. the tile buffers do not
+            fit the device at all).
     """
     options = options or LCMMOptions()
-    ctx = CompilationContext.create(graph, accel, options=options, model=model)
-    manager = PassManager(
-        list(pipeline) if pipeline is not None else default_pipeline(options)
+    recovery = _DEFAULT_RECOVERY if fallback else None
+    attempts = _degradation_chain(options, pipeline)
+    failed: list[str] = []
+    carried: list[PassDiagnostic] = []
+    for label, attempt_options in attempts:
+        if attempt_options is None:
+            result = umm_only_result(graph, accel, model=model)
+        else:
+            attempt_pipeline = (
+                list(pipeline)
+                if pipeline is not None and label == attempts[0][0]
+                else default_pipeline(attempt_options)
+            )
+            ctx = CompilationContext.create(
+                graph, accel, options=attempt_options, model=model
+            )
+            manager = PassManager(attempt_pipeline, strict=strict, recovery=recovery)
+            try:
+                manager.run(ctx)
+                result = package_result(ctx, manager)
+            except PipelineError:
+                # A malformed pipeline (unknown pass, broken artifact
+                # contract) is a caller error, not a runtime fault —
+                # degrading would silently ignore the caller's request.
+                raise
+            except ReproError as exc:
+                if not fallback:
+                    raise
+                failed.append(label)
+                carried.extend(ctx.diagnostics)
+                carried.append(
+                    PassDiagnostic(
+                        pass_name="framework",
+                        category="degraded",
+                        message=(
+                            f"attempt {label!r} failed "
+                            f"({type(exc).__name__}: {exc}); degrading"
+                        ),
+                        data={"attempt": label, "error": type(exc).__name__},
+                    )
+                )
+                continue
+        result.degradation_level = len(failed)
+        result.degradation_path = tuple(failed)
+        if carried:
+            result.diagnostics = tuple(carried) + result.diagnostics
+        return result
+    raise PassError(  # pragma: no cover — the UMM floor never raises ReproError
+        "all degradation levels failed", details={"attempts": [a[0] for a in attempts]}
     )
-    manager.run(ctx)
-    return package_result(ctx, manager)

@@ -27,6 +27,7 @@ from repro.lcmm.passes.core import (
     Pass,
     PassDiagnostic,
     PassExecution,
+    PassFailure,
     PassManager,
     PipelineError,
     make_pass,
@@ -49,6 +50,7 @@ from repro.lcmm.passes.standard import (
     WeightPrefetchPass,
     compute_residuals,
     default_pipeline,
+    empty_dnnk_result,
     empty_feature_result,
     empty_prefetch_result,
     evaluate_allocation,
@@ -60,6 +62,7 @@ __all__ = [
     "Pass",
     "PassDiagnostic",
     "PassExecution",
+    "PassFailure",
     "PassManager",
     "PipelineError",
     "make_pass",
@@ -81,6 +84,7 @@ __all__ = [
     "compute_residuals",
     "evaluate_allocation",
     "default_pipeline",
+    "empty_dnnk_result",
     "empty_feature_result",
     "empty_prefetch_result",
 ]

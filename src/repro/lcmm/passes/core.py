@@ -28,16 +28,29 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.errors import CapacityError, PassError, PipelineError
 from repro.hw.sram import BRAM36_BYTES, blocks_for
 from repro.ir.graph import ComputationGraph
 from repro.lcmm.options import LCMMOptions
 from repro.perf.engine import AllocationEngine, EngineStats
 from repro.perf.latency import LatencyModel
 from repro.perf.systolic import AcceleratorConfig
+from repro.robustness.inject import declare_fault_point, fault_point
 
-
-class PipelineError(RuntimeError):
-    """A pipeline is malformed: unknown pass, or artifact contract broken."""
+__all__ = [
+    "CompilationContext",
+    "Pass",
+    "PassDiagnostic",
+    "PassExecution",
+    "PassFailure",
+    "PassManager",
+    "PipelineError",
+    "PASS_REGISTRY",
+    "make_pass",
+    "pipeline_from_names",
+    "register_pass",
+    "registered_passes",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +82,25 @@ class PassExecution:
     name: str
     seconds: float
     produced: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PassFailure:
+    """Record of one failed pass and how the manager handled it.
+
+    Attributes:
+        name: The failing pass.
+        error: The exception (already wrapped in a taxonomy type when it
+            was an ad-hoc exception).
+        action: ``"skip"`` when the recovery policy let the pipeline
+            continue, ``"raise"`` when the failure was propagated.
+        seconds: Wall time spent in the pass before it failed.
+    """
+
+    name: str
+    error: BaseException
+    action: str
+    seconds: float
 
 
 @dataclass
@@ -113,8 +145,9 @@ class CompilationContext:
         """Build a context: latency model, engine, capacity accounting.
 
         Raises:
-            ValueError: When the tile buffers alone exceed the SRAM
-                budget — no tensor allocation is possible.
+            repro.errors.CapacityError: When the tile buffers alone
+                exceed the SRAM budget — no tensor allocation is
+                possible (remains catchable as ``ValueError``).
         """
         options = options or LCMMOptions()
         model = model or LatencyModel(graph, accel)
@@ -127,8 +160,9 @@ class CompilationContext:
         tile_bytes = blocks_for(accel.tile_buffer_bytes(), BRAM36_BYTES) * BRAM36_BYTES
         capacity = budget - tile_bytes
         if capacity < 0:
-            raise ValueError(
-                f"tile buffers alone exceed the SRAM budget ({tile_bytes} > {budget} bytes)"
+            raise CapacityError(
+                f"tile buffers alone exceed the SRAM budget ({tile_bytes} > {budget} bytes)",
+                details={"tile_bytes": tile_bytes, "budget": budget},
             )
         return cls(
             graph=graph,
@@ -194,6 +228,15 @@ class Pass(abc.ABC):
     def run(self, ctx: CompilationContext) -> None:
         """Execute against the shared context."""
 
+    def verify(self, ctx: CompilationContext) -> None:
+        """Invariant check run after :meth:`run` under strict execution.
+
+        Implementations must only *read* the context (artifacts and the
+        pure latency model) — never touch the engine or republish
+        artifacts — and raise :class:`repro.errors.AllocationError` on a
+        violated invariant.  The default checks nothing.
+        """
+
     @classmethod
     def describe(cls) -> str:
         """First docstring line — the ``lcmm passes`` summary."""
@@ -216,6 +259,7 @@ def register_pass(cls: type[Pass]) -> type[Pass]:
     if cls.name in PASS_REGISTRY:
         raise PipelineError(f"pass name {cls.name!r} already registered")
     PASS_REGISTRY[cls.name] = cls
+    declare_fault_point(f"pass.{cls.name}", cls.describe())
     return cls
 
 
@@ -251,41 +295,88 @@ class PassManager:
     contract checked; violations raise :class:`PipelineError` naming the
     pass and the artifact.
 
+    **Checked execution.**  With ``strict=True`` each pass's
+    :meth:`Pass.verify` invariant check runs right after the pass, so a
+    corrupt intermediate is caught at the pass that produced it rather
+    than at the end of the pipeline.  A failing pass (including a failed
+    verify) is recorded as a :class:`PassFailure` plus a ``pass-failed``
+    :class:`PassDiagnostic`; the per-pass ``recovery`` policy then
+    decides what happens:
+
+    * ``"raise"`` (default) — wrap the exception in
+      :class:`repro.errors.PassError` (taxonomy exceptions propagate
+      as-is) and abort the pipeline.  :func:`repro.lcmm.framework.run_lcmm`
+      catches this and falls back along its degradation chain.
+    * ``"skip"`` — restore the artifacts published before the pass ran,
+      re-park the engine on the last accepted score, and continue.  Only
+      meaningful for optional improvement passes (refinement, fractional
+      fill) whose output downstream passes can live without.
+
     Args:
         passes: The pipeline, in execution order.
         observers: Optional callbacks ``(pass_, ctx, seconds)`` invoked
             after each pass — validation or tracing hooks for tests and
             tools.
+        strict: Run per-pass invariant verification.
+        recovery: Pass name -> ``"raise"`` | ``"skip"``.
     """
 
     def __init__(
         self,
         passes: Sequence[Pass],
         observers: Iterable[Any] = (),
+        strict: bool = False,
+        recovery: Mapping[str, str] | None = None,
     ) -> None:
         self.passes: list[Pass] = list(passes)
         self.observers = tuple(observers)
+        self.strict = strict
+        self.recovery: dict[str, str] = dict(recovery or {})
+        for name, action in self.recovery.items():
+            if action not in ("raise", "skip"):
+                raise PipelineError(
+                    f"unknown recovery action {action!r} for pass {name!r}; "
+                    "expected 'raise' or 'skip'"
+                )
         #: Per-pass execution records of the most recent :meth:`run`.
         self.executions: list[PassExecution] = []
+        #: Failures seen (and possibly recovered) during the most recent run.
+        self.failures: list[PassFailure] = []
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         """Execute the pipeline; returns the same context for chaining."""
         self.executions = []
+        self.failures = []
         for pass_ in self.passes:
             for key in pass_.requires:
                 if not ctx.has(key):
                     raise PipelineError(
                         f"pass {pass_.name!r} requires artifact {key!r}, "
-                        "which no earlier pass produced"
+                        "which no earlier pass produced",
+                        pass_name=pass_.name,
+                        artifact=key,
                     )
+            snapshot = dict(ctx.artifacts)
             start = time.perf_counter()
-            pass_.run(ctx)
+            try:
+                fault_point(f"pass.{pass_.name}", pass_name=pass_.name)
+                pass_.run(ctx)
+                if self.strict:
+                    pass_.verify(ctx)
+            except PipelineError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — recovery boundary
+                elapsed = time.perf_counter() - start
+                self._handle_failure(ctx, pass_, exc, elapsed, snapshot)
+                continue
             elapsed = time.perf_counter() - start
             for key in pass_.produces:
                 if not ctx.has(key):
                     raise PipelineError(
                         f"pass {pass_.name!r} declares it produces {key!r} "
-                        "but did not publish it"
+                        "but did not publish it",
+                        pass_name=pass_.name,
+                        artifact=key,
                     )
             if ctx.stats is not None:
                 ctx.stats.pass_seconds[pass_.name] = (
@@ -299,6 +390,49 @@ class PassManager:
             for observer in self.observers:
                 observer(pass_, ctx, elapsed)
         return ctx
+
+    def _handle_failure(
+        self,
+        ctx: CompilationContext,
+        pass_: Pass,
+        exc: Exception,
+        elapsed: float,
+        snapshot: dict[str, Any],
+    ) -> None:
+        """Record a failing pass and apply its recovery policy."""
+        from repro.errors import ReproError
+
+        action = self.recovery.get(pass_.name, "raise")
+        wrapped: BaseException = exc
+        if not isinstance(exc, ReproError):
+            wrapped = PassError(
+                f"pass {pass_.name!r} failed: {exc}", pass_name=pass_.name
+            )
+            wrapped.__cause__ = exc
+        self.failures.append(
+            PassFailure(name=pass_.name, error=wrapped, action=action, seconds=elapsed)
+        )
+        ctx.diagnose(
+            pass_.name,
+            "pass-failed",
+            f"pass {pass_.name!r} failed ({type(exc).__name__}: {exc}); "
+            + ("skipping it" if action == "skip" else "aborting the pipeline"),
+            error=type(exc).__name__,
+            action=action,
+        )
+        if action != "skip":
+            raise wrapped from exc
+        # A pass may die mid-flight having republished some artifacts but
+        # not others; restore the pre-pass artifact set so downstream
+        # passes see a consistent snapshot, and re-park the engine on the
+        # last accepted score (the pass may have left it on a trial state).
+        ctx.artifacts.clear()
+        ctx.artifacts.update(snapshot)
+        score = ctx.get("score")
+        if ctx.engine is not None and score is not None:
+            ctx.engine.set_state(
+                score.onchip, score.residuals, ctx.get("fractions")
+            )
 
     def description(self) -> str:
         """The pipeline as ``a -> b -> c`` (executed order when run)."""

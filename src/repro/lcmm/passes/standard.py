@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.errors import AllocationError
 from repro.hw.sram import SRAMUsage, blocks_for, BRAM36_BYTES
 from repro.ir.tensor import weight_tensor_name
 from repro.lcmm.buffers import PhysicalBuffer, VirtualBuffer
@@ -114,6 +115,18 @@ def empty_prefetch_result() -> PrefetchResult:
     """The no-op prefetch artifact (prefetching disabled or not run)."""
     return PrefetchResult(
         edges={}, candidates=[], interference=InterferenceGraph(), buffers=[]
+    )
+
+
+def empty_dnnk_result(capacity_bytes: int = 0) -> DNNKResult:
+    """An allocator outcome that keeps every tensor in DDR (UMM-only)."""
+    return DNNKResult(
+        allocated=[],
+        spilled=[],
+        onchip_tensors=frozenset(),
+        predicted_reduction=0.0,
+        capacity_bytes=capacity_bytes,
+        used_bytes=0,
     )
 
 
@@ -252,6 +265,25 @@ class _AllocateBase(Pass):
     """Shared machinery of the allocator variants."""
 
     produces = ("allocation",)
+
+    def verify(self, ctx: CompilationContext) -> None:
+        """Strict check: the chosen allocation fits and is consistent."""
+        allocation: AllocationDecision = ctx.require("allocation")
+        result = allocation.result
+        if result.used_bytes > result.capacity_bytes:
+            raise AllocationError(
+                f"allocator used {result.used_bytes} of "
+                f"{result.capacity_bytes} capacity bytes",
+                pass_name=self.name,
+            )
+        from_buffers = {
+            t.name for buf in result.allocated for t in buf.tensors
+        }
+        if from_buffers != set(result.onchip_tensors):
+            raise AllocationError(
+                "on-chip tensor set does not match the allocated buffers",
+                pass_name=self.name,
+            )
 
     def _inputs(
         self, ctx: CompilationContext
@@ -402,6 +434,40 @@ class ScorePass(Pass):
             ),
         )
 
+    def verify(self, ctx: CompilationContext) -> None:
+        _verify_score(self.name, ctx)
+
+
+def _verify_score(pass_name: str, ctx: CompilationContext) -> None:
+    """Strict check shared by the scoring passes.
+
+    The score must sit inside the paper's bounds — never slower than UMM,
+    never faster than the compute bound — and residuals may only attach
+    to on-chip weight tensors.  Reads only the pure latency model.
+    """
+    score: AllocationScore = ctx.require("score")
+    umm = ctx.model.umm_latency()
+    if score.latency > umm + 1e-12:
+        raise AllocationError(
+            f"scored latency {score.latency} exceeds UMM latency {umm}",
+            pass_name=pass_name,
+        )
+    floor = ctx.model.compute_bound_latency()
+    if score.latency < floor - 1e-12:
+        raise AllocationError(
+            f"scored latency {score.latency} below compute bound {floor}",
+            pass_name=pass_name,
+        )
+    for tensor, residual in score.residuals.items():
+        if tensor not in score.onchip:
+            raise AllocationError(
+                f"residual on off-chip tensor {tensor!r}", pass_name=pass_name
+            )
+        if residual < 0:
+            raise AllocationError(
+                f"negative residual on {tensor!r}", pass_name=pass_name
+            )
+
 
 @register_pass
 class RefinementPass(Pass):
@@ -502,6 +568,16 @@ class RefinementPass(Pass):
         if engine is not None:
             engine.set_state(onchip, residuals)
 
+    def verify(self, ctx: CompilationContext) -> None:
+        score: AllocationScore = ctx.require("score")
+        allocation: AllocationDecision = ctx.require("allocation")
+        if score.onchip != allocation.result.onchip_tensors:
+            raise AllocationError(
+                "refined score and allocation disagree on the on-chip set",
+                pass_name=self.name,
+            )
+        _verify_score(self.name, ctx)
+
 
 @register_pass
 class PlacementPass(Pass):
@@ -524,6 +600,21 @@ class PlacementPass(Pass):
                 )
             )
         ctx.put("placement", Placement(usage=usage, buffers=physical))
+
+    def verify(self, ctx: CompilationContext) -> None:
+        """Strict check: block-level placement stays within the device."""
+        placement: Placement = ctx.require("placement")
+        usage = placement.usage
+        if usage.uram_used > usage.budget.uram_blocks:
+            raise AllocationError("URAM over-committed", pass_name=self.name)
+        if usage.bram36_used > usage.budget.bram36_blocks:
+            raise AllocationError("BRAM over-committed", pass_name=self.name)
+        allocation: AllocationDecision = ctx.require("allocation")
+        if len(placement.buffers) != len(allocation.result.allocated):
+            raise AllocationError(
+                "placement did not place every allocated buffer",
+                pass_name=self.name,
+            )
 
 
 @register_pass
@@ -632,6 +723,21 @@ class FractionalFillPass(Pass):
             stranded_bytes=leftover,
             pins=len(fractions),
         )
+
+    def verify(self, ctx: CompilationContext) -> None:
+        score: AllocationScore = ctx.require("score")
+        for tensor, fraction in ctx.require("fractions").items():
+            if not 0.0 < fraction <= 1.0:
+                raise AllocationError(
+                    f"fraction {fraction} for {tensor!r} outside (0, 1]",
+                    pass_name=self.name,
+                )
+            if tensor in score.onchip:
+                raise AllocationError(
+                    f"fraction pinned for already-resident tensor {tensor!r}",
+                    pass_name=self.name,
+                )
+        _verify_score(self.name, ctx)
 
 
 def default_pipeline(options) -> list[Pass]:

@@ -9,14 +9,17 @@ schedule.
 
 from __future__ import annotations
 
+# Back-compat alias: AllocationError historically lived (and is still
+# importable) here, but it now derives from the unified taxonomy in
+# repro.errors instead of AssertionError — broad ``except AssertionError``
+# handlers can no longer swallow a real invariant violation.
+from repro.errors import AllocationError
 from repro.lcmm.coloring import validate_coloring
 from repro.lcmm.framework import LCMMResult
 from repro.lcmm.umm import UMMResult
 from repro.perf.latency import LatencyModel
 
-
-class AllocationError(AssertionError):
-    """Raised when an LCMM result violates an invariant."""
+__all__ = ["AllocationError", "validate_result", "validate_buffers"]
 
 
 def validate_result(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.errors import ModelNotFoundError
 from repro.ir.graph import ComputationGraph
 from repro.models.alexnet import build_alexnet
 from repro.models.densenet import build_densenet121
@@ -56,12 +57,15 @@ def get_model(name: str) -> ComputationGraph:
     """Build a model by canonical name or paper abbreviation (RN/GN/IN).
 
     Raises:
-        KeyError: If the name matches no registered model.
+        repro.errors.ModelNotFoundError: If the name matches no
+            registered model (remains catchable as ``KeyError``).
     """
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
     try:
         builder = MODEL_BUILDERS[key]
     except KeyError:
-        raise KeyError(f"unknown model {name!r}; known: {list_models()}") from None
+        raise ModelNotFoundError(
+            f"unknown model {name!r}; known: {', '.join(list_models())}"
+        ) from None
     return builder()

@@ -17,9 +17,14 @@ from __future__ import annotations
 
 import itertools
 import math
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
+from repro.errors import CapacityError, ConfigError
+from repro.robustness import inject
+from repro.robustness.inject import declare_fault_point, fault_point
 from repro.ir.graph import ComputationGraph
 from repro.ir.layer import Conv2D, DepthwiseConv2D
 from repro.ir.tensor import TensorKind
@@ -198,18 +203,70 @@ class _SweepScorer:
         return total
 
 
+@dataclass
+class WorkerStats:
+    """What the hardened parallel sweep had to do to finish.
+
+    A clean run is ``chunks == N`` with every other counter zero.  The
+    counters let callers (and ``lcmm dse``) see how much fault handling
+    the sweep needed without changing its results — the recovered output
+    is always identical to a serial sweep.
+
+    Attributes:
+        chunks: Tile chunks the sweep was split into.
+        retries: Chunk re-submissions after a worker exception.
+        timeouts: Per-chunk deadline expiries.
+        failures: Chunk attempts that raised in a worker.
+        pool_broken: The process pool died (``BrokenProcessPool``).
+        serial_chunks: Chunks re-executed serially in the parent after
+            the pool could not produce them.
+        pool_unavailable: The pool could not be created at all and the
+            whole sweep ran serially.
+    """
+
+    chunks: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    pool_broken: bool = False
+    serial_chunks: int = 0
+    pool_unavailable: bool = False
+
+    def recovered(self) -> bool:
+        """Whether any fault handling occurred."""
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.failures
+            or self.pool_broken
+            or self.serial_chunks
+            or self.pool_unavailable
+        )
+
+
+declare_fault_point("dse.chunk", "one tile chunk scored in a DSE worker")
+
+
 # Worker-process state for the parallel sweep, installed once per worker
 # by the pool initializer so tile chunks only ship the tiles themselves.
 _worker_scorer: _SweepScorer | None = None
 
 
-def _dse_init(graph: ComputationGraph, base: AcceleratorConfig) -> None:
+def _dse_init(
+    graph: ComputationGraph,
+    base: AcceleratorConfig,
+    fault_plans: tuple = (),
+) -> None:
     global _worker_scorer
     _worker_scorer = _SweepScorer(graph, base)
+    # Fault injection armed in the parent follows the work into the
+    # worker (chaos tests for the crash/timeout recovery paths).
+    inject.install_plans(fault_plans)
 
 
-def _score_chunk(tiles: list[TileConfig]) -> list[float]:
+def _score_chunk(tiles: list[TileConfig], index: int = 0) -> list[float]:
     """Score one contiguous chunk of tiles in a worker process."""
+    fault_point("dse.chunk", chunk=index)
     return [_worker_scorer.score(tile) for tile in tiles]
 
 
@@ -218,21 +275,71 @@ def _score_parallel(
     base: AcceleratorConfig,
     tiles: list[TileConfig],
     workers: int,
+    chunk_timeout: float | None = None,
+    chunk_retries: int = 1,
+    stats: WorkerStats | None = None,
 ) -> list[float]:
     """Fan tile scoring out over a process pool, preserving tile order.
 
     Contiguous chunks (a few per worker, to balance uneven models) are
-    mapped in order, so the concatenated result lines up with ``tiles``
-    regardless of which worker finished first.
+    scored in worker processes and reassembled by index, so the result
+    lines up with ``tiles`` regardless of which worker finished first.
+
+    Hardened against worker failure: a chunk that raises is resubmitted
+    up to ``chunk_retries`` times; a chunk that misses ``chunk_timeout``
+    or exhausts its retries — and every chunk lost when the pool itself
+    breaks (``BrokenProcessPool``) — is re-executed *serially in the
+    parent*, so the sweep always terminates with exact results.  The
+    serial path recomputes with a fresh scorer rather than trusting
+    anything a dying worker may have sent.
     """
+    stats = stats if stats is not None else WorkerStats()
     chunk = max(1, math.ceil(len(tiles) / (workers * 4)))
     chunks = [tiles[i : i + chunk] for i in range(0, len(tiles), chunk)]
-    with ProcessPoolExecutor(
+    stats.chunks = len(chunks)
+    results: list[list[float] | None] = [None] * len(chunks)
+    pool = ProcessPoolExecutor(
         max_workers=min(workers, len(chunks)),
         initializer=_dse_init,
-        initargs=(graph, base),
-    ) as pool:
-        return [lat for part in pool.map(_score_chunk, chunks) for lat in part]
+        initargs=(graph, base, inject.active_plans()),
+    )
+    try:
+        pending = list(range(len(chunks)))
+        attempts = [0] * len(chunks)
+        while pending:
+            futures = [(pool.submit(_score_chunk, chunks[i], i), i) for i in pending]
+            retry: list[int] = []
+            broken = False
+            for future, i in futures:
+                try:
+                    # Chunks run concurrently, so waiting on them in
+                    # submission order still gives each roughly its own
+                    # deadline — and never mislabels a healthy chunk.
+                    results[i] = future.result(timeout=chunk_timeout)
+                except FutureTimeout:
+                    stats.timeouts += 1
+                    future.cancel()
+                except BrokenProcessPool:
+                    broken = True
+                except Exception:
+                    stats.failures += 1
+                    attempts[i] += 1
+                    if attempts[i] <= chunk_retries:
+                        stats.retries += 1
+                        retry.append(i)
+            if broken:
+                stats.pool_broken = True
+                break
+            pending = retry
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    lost = [i for i in range(len(chunks)) if results[i] is None]
+    if lost:
+        stats.serial_chunks = len(lost)
+        scorer = _SweepScorer(graph, base)
+        for i in lost:
+            results[i] = [scorer.score(tile) for tile in chunks[i]]
+    return [lat for part in results for lat in part]
 
 
 def explore_designs(
@@ -241,6 +348,9 @@ def explore_designs(
     tile_buffer_budget: int,
     tiles: list[TileConfig] | None = None,
     workers: int = 1,
+    chunk_timeout: float | None = None,
+    chunk_retries: int = 1,
+    stats: WorkerStats | None = None,
 ) -> list[DesignPoint]:
     """Score every feasible tile configuration on a model.
 
@@ -250,37 +360,70 @@ def explore_designs(
             only the tile configuration is varied.
         tile_buffer_budget: Maximum bytes the double-buffered tile buffers
             may occupy (the rest of SRAM is left to LCMM's tensor buffers).
-        tiles: Optional explicit candidate list.
+        tiles: Optional explicit candidate list.  An explicitly empty list
+            yields an empty result (nothing to explore is not an error).
         workers: Process count for the scoring sweep.  ``1`` (the
             default) runs serially in-process; higher values fan chunks
-            of tiles out over a process pool.  Results are identical and
-            identically ordered either way, and any pool failure (e.g. an
-            environment without working process spawning) falls back to
-            the serial path.
+            of tiles out over a process pool, clamped to the number of
+            feasible tiles so small sweeps never spawn idle workers.
+            Results are identical and identically ordered either way, and
+            any pool failure (a crashed worker, a hung chunk, or an
+            environment without working process spawning) is recovered by
+            re-scoring the missing chunks serially.
+        chunk_timeout: Optional per-chunk deadline in seconds for the
+            parallel sweep; an overdue chunk is re-scored serially.
+        chunk_retries: Re-submissions allowed per failing chunk before it
+            falls back to serial re-scoring.
+        stats: Optional :class:`WorkerStats` filled in with what the
+            parallel sweep had to recover from.
 
     Returns:
         Feasible design points sorted by ascending UMM latency.
+
+    Raises:
+        repro.errors.CapacityError: On a non-positive budget, or when no
+            candidate tile fits it.
+        repro.errors.ConfigError: On ``workers < 1``.
     """
     if tile_buffer_budget <= 0:
-        raise ValueError("tile_buffer_budget must be positive")
+        raise CapacityError(
+            "tile_buffer_budget must be positive",
+            details={"tile_buffer_budget": tile_buffer_budget},
+        )
     if workers < 1:
-        raise ValueError("workers must be at least 1")
+        raise ConfigError("workers must be at least 1", details={"workers": workers})
+    if tiles is not None and not tiles:
+        return []
     feasible: list[tuple[TileConfig, int]] = []
     for tile in tiles if tiles is not None else candidate_tiles():
         footprint = tile.tile_buffer_bytes(base.precision.bytes)
         if footprint <= tile_buffer_budget:
             feasible.append((tile, footprint))
     if not feasible:
-        raise ValueError(
-            f"no tile configuration fits a {tile_buffer_budget}-byte budget"
+        raise CapacityError(
+            f"no tile configuration fits a {tile_buffer_budget}-byte budget",
+            details={"tile_buffer_budget": tile_buffer_budget},
         )
     tile_list = [tile for tile, _ in feasible]
+    workers = min(workers, len(tile_list))
     latencies: list[float] | None = None
-    if workers > 1 and len(tile_list) > 1:
+    if workers > 1:
         try:
-            latencies = _score_parallel(graph, base, tile_list, workers)
+            latencies = _score_parallel(
+                graph,
+                base,
+                tile_list,
+                workers,
+                chunk_timeout=chunk_timeout,
+                chunk_retries=chunk_retries,
+                stats=stats,
+            )
         except Exception:
-            latencies = None  # pool unavailable; score serially below
+            # Pool could not even be created (sandboxed interpreter, no
+            # fork/spawn support...); the serial path below is exact.
+            if stats is not None:
+                stats.pool_unavailable = True
+            latencies = None
     if latencies is None:
         scorer = _SweepScorer(graph, base)
         latencies = [scorer.score(tile) for tile in tile_list]

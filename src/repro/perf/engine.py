@@ -32,6 +32,11 @@ from typing import Iterable, Mapping
 
 from repro.ir.tensor import TensorKind
 from repro.perf.latency import LatencyModel
+from repro.robustness.inject import declare_fault_point, fault_point
+
+declare_fault_point(
+    "engine.set_state", "absolute state jump of the incremental engine"
+)
 
 #: Interface index per tensor kind, in the order Eq. 1's max considers them.
 KIND_INDEX = {TensorKind.IFMAP: 0, TensorKind.WEIGHT: 1, TensorKind.OFMAP: 2}
@@ -366,6 +371,7 @@ class AllocationEngine:
         Returns:
             The latency delta of the jump.
         """
+        fault_point("engine.set_state")
         index = self.tensor_index
         target: dict[int, tuple[bool, float, float | None]] = {}
         for name in onchip:

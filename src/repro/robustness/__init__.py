@@ -1,0 +1,27 @@
+"""Robustness tooling: fault injection and chaos-test support."""
+
+from repro.robustness.inject import (
+    FaultPlan,
+    arm,
+    declare_fault_point,
+    disarm,
+    disarm_all,
+    active_plans,
+    fault_point,
+    injected,
+    install_plans,
+    registered_fault_points,
+)
+
+__all__ = [
+    "FaultPlan",
+    "arm",
+    "declare_fault_point",
+    "disarm",
+    "disarm_all",
+    "active_plans",
+    "fault_point",
+    "injected",
+    "install_plans",
+    "registered_fault_points",
+]

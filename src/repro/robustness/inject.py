@@ -1,0 +1,181 @@
+"""Deterministic fault-injection harness.
+
+Production code marks *fault points* — named places where the chaos
+tests may make it fail — by calling :func:`fault_point`.  When nothing
+is armed (the normal case) a fault point is one dict-emptiness check, so
+sprinkling them through passes, the allocation engine and the DSE
+workers costs nothing measurable.
+
+Chaos tests arm a :class:`FaultPlan` (usually via the :func:`injected`
+context manager), run the system, and assert the fallback machinery
+degrades instead of crashing.  Activation is *deterministic*: each armed
+plan owns a ``random.Random(seed)`` stream, so the same seed replays the
+same fire pattern, and CI can sweep seeds.
+
+Fault modes:
+
+* ``"raise"`` — raise :class:`repro.errors.InjectedFault` (picklable, so
+  it crosses process-pool boundaries intact).
+* ``"hang"`` — sleep ``hang_seconds`` then continue, simulating a stuck
+  worker for the DSE chunk-timeout path.
+* ``"crash"`` — ``os._exit`` the current process, simulating a killed
+  worker.  **Only arm this for points that execute inside worker
+  processes** (``dse.*``); in the parent it would kill the test runner.
+
+Plans are plain picklable dataclasses: :func:`active_plans` snapshots
+the armed set and :func:`install_plans` re-arms it inside a worker
+process (the DSE pool initializer does exactly this), so injection
+follows the work across process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ConfigError, InjectedFault
+
+_MODES = ("raise", "hang", "crash")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One armed fault: where, how, and how deterministically it fires.
+
+    Attributes:
+        point: Fault-point name (``"pass.allocate_dnnk"``, ``"dse.chunk"``...).
+        mode: ``"raise"``, ``"hang"`` or ``"crash"``.
+        rate: Probability a hit fires, drawn from the seeded stream
+            (1.0 = every hit).
+        seed: Seed of the plan's private random stream.
+        max_fires: Stop firing after this many fires (``None`` = forever).
+            ``max_fires=1`` models a transient fault.
+        hang_seconds: Sleep duration for ``"hang"`` mode.
+    """
+
+    point: str
+    mode: str = "raise"
+    rate: float = 1.0
+    seed: int = 0
+    max_fires: int | None = None
+    hang_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigError(
+                f"unknown fault mode {self.mode!r}; expected one of {_MODES}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate must be within [0, 1], got {self.rate}")
+
+
+class ArmedFault:
+    """Runtime state of one armed plan: seeded stream plus counters."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: Times the point was hit while armed.
+        self.hits = 0
+        #: Times the fault actually fired.
+        self.fires = 0
+
+    def hit(self, context: dict[str, Any]) -> None:
+        """Register one hit; fire the fault when the plan says so."""
+        self.hits += 1
+        plan = self.plan
+        if plan.max_fires is not None and self.fires >= plan.max_fires:
+            return
+        if self._rng.random() >= plan.rate:
+            return
+        self.fires += 1
+        if plan.mode == "hang":
+            time.sleep(plan.hang_seconds)
+            return
+        if plan.mode == "crash":
+            os._exit(23)
+        raise InjectedFault(
+            f"injected fault at {plan.point!r}",
+            pass_name=context.get("pass_name"),
+            details={k: v for k, v in context.items() if k != "pass_name"},
+        )
+
+
+#: Declared fault points: name -> description.  The chaos suite iterates
+#: this to prove every point degrades cleanly.
+_DECLARED: dict[str, str] = {}
+
+#: Currently armed faults by point name.
+_ARMED: dict[str, ArmedFault] = {}
+
+
+def declare_fault_point(name: str, description: str = "") -> str:
+    """Register a fault point name (idempotent); returns the name."""
+    _DECLARED.setdefault(name, description)
+    return name
+
+
+def registered_fault_points() -> dict[str, str]:
+    """All declared fault points, sorted by name."""
+    return dict(sorted(_DECLARED.items()))
+
+
+def fault_point(name: str, **context: Any) -> None:
+    """Production-side hook: fires the armed fault for ``name``, if any.
+
+    Free when nothing is armed.  Unknown names are auto-declared so ad-hoc
+    points in user passes still show up in :func:`registered_fault_points`.
+    """
+    if not _ARMED:
+        return
+    armed = _ARMED.get(name)
+    if armed is not None:
+        armed.hit(context)
+
+
+def arm(plan: FaultPlan) -> ArmedFault:
+    """Arm one plan (replacing any previous plan on the same point)."""
+    declare_fault_point(plan.point)
+    armed = ArmedFault(plan)
+    _ARMED[plan.point] = armed
+    return armed
+
+
+def disarm(point: str) -> None:
+    """Disarm one point (no-op if not armed)."""
+    _ARMED.pop(point, None)
+
+
+def disarm_all() -> None:
+    """Disarm every point."""
+    _ARMED.clear()
+
+
+def active_plans() -> tuple[FaultPlan, ...]:
+    """Picklable snapshot of the armed plans (for worker initializers)."""
+    return tuple(armed.plan for armed in _ARMED.values())
+
+
+def install_plans(plans: Iterable[FaultPlan]) -> None:
+    """Arm a snapshot of plans inside this process (worker-side)."""
+    for plan in plans:
+        arm(plan)
+
+
+@contextmanager
+def injected(*plans: FaultPlan) -> Iterator[dict[str, ArmedFault]]:
+    """Arm plans for the duration of a with-block; always disarms.
+
+    Yields the armed faults by point name so tests can assert on
+    ``hits``/``fires`` counters.
+    """
+    armed = {plan.point: arm(plan) for plan in plans}
+    try:
+        yield armed
+    finally:
+        for point in armed:
+            disarm(point)

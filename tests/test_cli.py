@@ -149,3 +149,48 @@ class TestCommands:
         data = json.loads(open(target).read())
         assert data["model"] == "googlenet"
         assert data["buffers"]
+
+
+class TestErrorHandling:
+    """ReproErrors become one-line stderr messages, not tracebacks."""
+
+    def test_unknown_model_exits_nonzero(self, capsys):
+        assert main(["dse", "nosuchnet"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "unknown model" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_model_lists_alternatives(self, capsys):
+        assert main(["export", "lenet"]) == 1
+        err = capsys.readouterr().err
+        assert "googlenet" in err  # actionable: names the known models
+
+    def test_nonpositive_budget_exits_nonzero(self, capsys):
+        assert main(["dse", "googlenet", "--budget", "0"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "positive" in err
+
+    def test_infeasible_budget_exits_nonzero(self, capsys):
+        assert main(["dse", "googlenet", "--budget", "0.00001"]) == 1
+        err = capsys.readouterr().err
+        assert "no tile configuration" in err
+
+    def test_run_strict_succeeds(self, capsys):
+        assert main(["run", "googlenet", "--strict", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "Degradation: none" in out
+
+    def test_run_no_fallback_succeeds(self, capsys):
+        assert main(["run", "googlenet", "--no-fallback"]) == 0
+        assert "Speedup" in capsys.readouterr().out
+
+    def test_explain_reports_degradation(self, capsys):
+        from repro.robustness.inject import FaultPlan, injected
+
+        with injected(FaultPlan("pass.allocate_splitting", mode="raise")):
+            assert main(["run", "googlenet", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "Degradation: level" in out
+        assert "Recovery events" in out

@@ -10,6 +10,7 @@ import copy
 
 import pytest
 
+from repro.errors import ReproError
 from repro.lcmm.buffers import CandidateTensor, TensorClass, VirtualBuffer
 from repro.lcmm.framework import run_lcmm
 from repro.lcmm.liveness import LiveRange
@@ -17,6 +18,28 @@ from repro.lcmm.validate import AllocationError, validate_result
 from repro.perf.latency import LatencyModel
 
 from tests.conftest import build_chain, small_accel
+
+
+class TestAllocationErrorTaxonomy:
+    def test_is_repro_error(self):
+        assert issubclass(AllocationError, ReproError)
+
+    def test_not_an_assertion_error(self):
+        # Historically AllocationError derived from AssertionError, so a
+        # broad ``except AssertionError`` (or ``python -O``-style habits)
+        # could swallow a real invariant violation.  The taxonomy rebased
+        # it; a bare assert-handler must NOT catch it any more.
+        assert not issubclass(AllocationError, AssertionError)
+        with pytest.raises(AllocationError):
+            try:
+                raise AllocationError("invariant violated")
+            except AssertionError:  # pragma: no cover - must not trigger
+                pytest.fail("AssertionError handler swallowed AllocationError")
+
+    def test_importable_from_both_homes(self):
+        from repro.errors import AllocationError as from_errors
+
+        assert from_errors is AllocationError
 
 
 @pytest.fixture

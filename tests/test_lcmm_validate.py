@@ -19,6 +19,19 @@ def valid_setup():
     return model, lcmm
 
 
+class TestAllocationErrorRebase:
+    def test_taxonomy_membership(self):
+        from repro.errors import ReproError
+
+        assert issubclass(AllocationError, ReproError)
+        assert not issubclass(AllocationError, AssertionError)
+
+    def test_carries_structured_context(self):
+        err = AllocationError("URAM over-committed", details={"used": 801})
+        assert "used=801" in str(err)
+        assert err.context()["used"] == 801
+
+
 class TestValidatorAcceptsGoodResults:
     def test_valid_result_passes(self, valid_setup):
         model, lcmm = valid_setup

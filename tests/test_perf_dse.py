@@ -3,7 +3,9 @@
 import pytest
 
 from repro.perf.dse import (
+    WorkerStats,
     _configure,
+    _score_parallel,
     _SweepScorer,
     best_design,
     candidate_tiles,
@@ -11,6 +13,7 @@ from repro.perf.dse import (
 )
 from repro.perf.latency import LatencyModel
 from repro.perf.tiling import TileConfig
+from repro.robustness.inject import FaultPlan, injected
 
 from tests.conftest import build_chain, build_snippet, small_accel
 
@@ -94,6 +97,16 @@ class TestWorkers:
         with pytest.raises(ValueError, match="workers"):
             explore_designs(build_chain(), small_accel(), 10 * 2**20, workers=0)
 
+    def test_taxonomy_errors(self):
+        from repro.errors import CapacityError, ConfigError
+
+        with pytest.raises(CapacityError):
+            explore_designs(build_chain(), small_accel(), 0)
+        with pytest.raises(CapacityError):
+            explore_designs(build_chain(), small_accel(), 16)
+        with pytest.raises(ConfigError):
+            explore_designs(build_chain(), small_accel(), 10 * 2**20, workers=0)
+
     def test_best_design_forwards_workers(self):
         graph = build_chain()
         base = small_accel()
@@ -102,3 +115,103 @@ class TestWorkers:
             best_design(graph, base, budget, workers=2).tile
             == best_design(graph, base, budget).tile
         )
+
+    def test_empty_tile_list_returns_empty(self):
+        assert explore_designs(build_chain(), small_accel(), 2**20, tiles=[]) == []
+
+    def test_more_workers_than_tiles(self):
+        # workers is clamped to the feasible tile count, so a 2-tile
+        # sweep with 8 requested workers must not over-spawn or hang.
+        tiles = [TileConfig(8, 8, 7, 7), TileConfig(16, 16, 14, 14)]
+        graph = build_chain()
+        base = small_accel()
+        serial = explore_designs(graph, base, 10 * 2**20, tiles=tiles)
+        wide = explore_designs(graph, base, 10 * 2**20, tiles=tiles, workers=8)
+        key = lambda points: [(p.accel.tile, p.umm_latency) for p in points]
+        assert key(wide) == key(serial)
+
+    def test_single_tile_many_workers_stays_serial(self):
+        tiles = [TileConfig(8, 8, 7, 7)]
+        stats = WorkerStats()
+        points = explore_designs(
+            build_chain(), small_accel(), 10 * 2**20, tiles=tiles, workers=4,
+            stats=stats,
+        )
+        assert len(points) == 1
+        # Clamped to 1 worker -> the serial path, no pool, no chunks.
+        assert stats.chunks == 0 and not stats.recovered()
+
+
+class TestWorkerRecovery:
+    """Crash/timeout/retry recovery in the parallel sweep.
+
+    All faults are injected through the registered ``dse.chunk`` fault
+    point (a picklable plan installed in each worker), never a lambda —
+    process pools can only run importable top-level callables.
+    """
+
+    def _setup(self):
+        graph = build_chain()
+        base = small_accel()
+        tiles = [
+            t for t in candidate_tiles()
+            if t.tile_buffer_bytes(base.precision.bytes) <= 10 * 2**20
+        ][:8]
+        scorer = _SweepScorer(graph, base)
+        expected = [scorer.score(t) for t in tiles]
+        return graph, base, tiles, expected
+
+    def test_worker_crash_recovers_serially(self):
+        graph, base, tiles, expected = self._setup()
+        stats = WorkerStats()
+        with injected(FaultPlan("dse.chunk", mode="crash")):
+            got = _score_parallel(graph, base, tiles, 2, stats=stats)
+        assert got == expected
+        assert stats.pool_broken
+        assert stats.serial_chunks >= 1
+
+    def test_chunk_timeout_recovers_serially(self):
+        graph, base, tiles, expected = self._setup()
+        stats = WorkerStats()
+        plan = FaultPlan("dse.chunk", mode="hang", hang_seconds=5.0)
+        with injected(plan):
+            got = _score_parallel(
+                graph, base, tiles, 2,
+                chunk_timeout=0.2, chunk_retries=0, stats=stats,
+            )
+        assert got == expected
+        assert stats.timeouts >= 1
+        assert stats.serial_chunks >= 1
+
+    def test_transient_failure_retried_in_pool(self):
+        graph, base, tiles, expected = self._setup()
+        stats = WorkerStats()
+        # One worker, one fire: the first chunk fails once, the retry
+        # (same worker, fault already spent) succeeds in the pool.
+        with injected(FaultPlan("dse.chunk", mode="raise", max_fires=1)):
+            got = _score_parallel(graph, base, tiles, 1, stats=stats)
+        assert got == expected
+        assert stats.failures == 1
+        assert stats.retries == 1
+        assert stats.serial_chunks == 0
+
+    def test_persistent_failure_falls_back_serially(self):
+        graph, base, tiles, expected = self._setup()
+        stats = WorkerStats()
+        with injected(FaultPlan("dse.chunk", mode="raise")):
+            got = _score_parallel(
+                graph, base, tiles, 2, chunk_retries=1, stats=stats,
+            )
+        assert got == expected
+        assert stats.serial_chunks >= 1
+
+    def test_explore_designs_exact_under_crash(self):
+        graph, base, _, _ = self._setup()
+        budget = 10 * 2**20
+        clean = explore_designs(graph, base, budget)
+        stats = WorkerStats()
+        with injected(FaultPlan("dse.chunk", mode="crash")):
+            chaotic = explore_designs(graph, base, budget, workers=2, stats=stats)
+        key = lambda points: [(p.accel.tile, p.umm_latency) for p in points]
+        assert key(chaotic) == key(clean)
+        assert stats.recovered()

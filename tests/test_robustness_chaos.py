@@ -1,0 +1,171 @@
+"""Chaos suite: every registered fault point, injected, must degrade cleanly.
+
+The fault-tolerance guarantee under test (ISSUE 3 acceptance criterion):
+with a fault injected at *any* registered fault point during
+:func:`run_lcmm`, the compiler still returns a result that
+
+* passes :func:`validate_result` (all structural invariants hold),
+* is never slower than the UMM baseline, and
+* records its degradation level in the result diagnostics whenever the
+  fault actually fired.
+
+And with injection disabled, results are bit-for-bit identical to a run
+that never touched the harness.
+
+Seeds come from ``CHAOS_SEED`` (default 0) so CI can sweep them; set
+``CHAOS_ZOO=1`` to run the persistent-fault matrix over the full model
+zoo instead of the fast two-model default.
+"""
+
+import os
+
+import pytest
+
+# Importing these modules declares the production fault points.
+import repro.lcmm.passes.standard  # noqa: F401
+import repro.perf.dse  # noqa: F401
+import repro.perf.engine  # noqa: F401
+from repro.errors import ReproError
+from repro.lcmm.framework import run_lcmm, umm_only_result
+from repro.lcmm.validate import validate_result
+from repro.models.zoo import get_model, list_models
+from repro.perf.latency import LatencyModel
+from repro.robustness.inject import (
+    FaultPlan,
+    disarm_all,
+    injected,
+    registered_fault_points,
+)
+
+from tests.conftest import small_accel
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+MODELS = (
+    list_models() if os.environ.get("CHAOS_ZOO") == "1"
+    else ["squeezenet", "googlenet"]
+)
+
+#: Every point the production code registers.  ``crash`` would kill the
+#: test runner at in-parent points, so the chaos matrix uses ``raise``.
+FAULT_POINTS = sorted(registered_fault_points())
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    disarm_all()
+    yield
+    disarm_all()
+
+
+def _build(model_name):
+    graph = get_model(model_name)
+    accel = small_accel(ddr_efficiency=0.1)
+    model = LatencyModel(graph, accel)
+    return graph, accel, model
+
+
+def _fingerprint(result):
+    return (
+        repr(result.latency),
+        sorted(result.onchip_tensors),
+        sorted((b.name, tuple(t.name for t in b.virtual.tensors))
+               for b in result.physical_buffers),
+        sorted((k, repr(v)) for k, v in result.residuals.items()),
+    )
+
+
+class TestPersistentFaults:
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("point", FAULT_POINTS)
+    def test_degrades_cleanly(self, model_name, point):
+        graph, accel, model = _build(model_name)
+        with injected(FaultPlan(point, mode="raise", seed=CHAOS_SEED)) as armed:
+            result = run_lcmm(graph, accel, model=model)
+            fired = armed[point].fires
+        validate_result(result, model)
+        assert result.latency <= model.umm_latency() + 1e-12
+        if fired:
+            # The fault hit the executed path: the result must admit it.
+            assert result.degradation_level >= 1
+            assert result.degradation_path
+            assert any(d.category == "degraded" for d in result.diagnostics)
+        else:
+            # Point not on this configuration's path (e.g. dse.chunk, or
+            # an optional pass): the run must be entirely unaffected.
+            assert result.degradation_level == 0
+
+    @pytest.mark.parametrize("point", FAULT_POINTS)
+    def test_no_fallback_surfaces_the_fault(self, point):
+        graph, accel, model = _build("squeezenet")
+        with injected(FaultPlan(point, mode="raise", seed=CHAOS_SEED)) as armed:
+            try:
+                result = run_lcmm(graph, accel, model=model, fallback=False)
+            except ReproError:
+                assert armed[point].fires >= 1  # a real fault, surfaced
+            else:
+                assert armed[point].fires == 0  # point never on the path
+                validate_result(result, model)
+
+
+class TestTransientFaults:
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_single_fire_recovers(self, model_name):
+        graph, accel, model = _build(model_name)
+        plan = FaultPlan(
+            "pass.allocate_splitting", mode="raise", seed=CHAOS_SEED, max_fires=1
+        )
+        with injected(plan) as armed:
+            result = run_lcmm(graph, accel, model=model)
+        assert armed[plan.point].fires == 1
+        validate_result(result, model)
+        assert result.latency <= model.umm_latency() + 1e-12
+        assert result.degradation_level >= 1
+
+
+class TestUmmFloor:
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_floor_is_valid_and_fault_free(self, model_name):
+        # The last link of the degradation chain uses no pass machinery
+        # and no engine, so it must survive *any* armed fault untouched.
+        graph, accel, model = _build(model_name)
+        plans = [
+            FaultPlan(p, mode="raise", seed=CHAOS_SEED) for p in FAULT_POINTS
+        ]
+        with injected(*plans):
+            floor = umm_only_result(graph, accel, model=model)
+        validate_result(floor, model)
+        assert repr(floor.latency) == repr(model.umm_latency())
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_all_points_armed_still_terminates(self, model_name):
+        graph, accel, model = _build(model_name)
+        plans = [
+            FaultPlan(p, mode="raise", seed=CHAOS_SEED) for p in FAULT_POINTS
+        ]
+        with injected(*plans):
+            result = run_lcmm(graph, accel, model=model)
+        validate_result(result, model)
+        assert result.latency <= model.umm_latency() + 1e-12
+        assert result.pipeline_description == "umm-only"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_disabled_injection_is_bit_for_bit_identical(self, model_name):
+        graph, accel, model = _build(model_name)
+        baseline = _fingerprint(run_lcmm(graph, accel, model=model))
+        # Arm, run, disarm: the harness must leave no residue.
+        with injected(FaultPlan("pass.score", mode="raise", seed=CHAOS_SEED)):
+            run_lcmm(graph, accel, model=model)
+        after = _fingerprint(run_lcmm(graph, accel, model=model))
+        assert after == baseline
+
+    def test_degraded_runs_are_reproducible(self):
+        graph, accel, model = _build("squeezenet")
+        plan = FaultPlan("pass.allocate_splitting", mode="raise", seed=CHAOS_SEED)
+        with injected(plan):
+            first = _fingerprint(run_lcmm(graph, accel, model=model))
+        with injected(plan):
+            second = _fingerprint(run_lcmm(graph, accel, model=model))
+        assert first == second

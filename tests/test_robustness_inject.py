@@ -1,0 +1,157 @@
+"""Unit tests for the fault-injection harness itself."""
+
+import pytest
+
+from repro.errors import ConfigError, InjectedFault, ReproError
+from repro.robustness.inject import (
+    ArmedFault,
+    FaultPlan,
+    active_plans,
+    arm,
+    declare_fault_point,
+    disarm,
+    disarm_all,
+    fault_point,
+    injected,
+    install_plans,
+    registered_fault_points,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    disarm_all()
+    yield
+    disarm_all()
+
+
+class TestPlanValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault mode"):
+            FaultPlan("p", mode="explode")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigError, match="rate"):
+            FaultPlan("p", rate=1.5)
+
+    def test_plans_are_picklable(self):
+        import pickle
+
+        plan = FaultPlan("dse.chunk", mode="hang", rate=0.5, seed=7, max_fires=3)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestRegistry:
+    def test_core_points_declared_on_import(self):
+        import repro.lcmm.passes.standard  # noqa: F401 - registers passes
+        import repro.perf.dse  # noqa: F401
+        import repro.perf.engine  # noqa: F401
+
+        points = registered_fault_points()
+        assert "pass.allocate_dnnk" in points
+        assert "pass.score" in points
+        assert "engine.set_state" in points
+        assert "dse.chunk" in points
+
+    def test_declare_is_idempotent(self):
+        declare_fault_point("test.point", "first")
+        declare_fault_point("test.point", "second")
+        assert registered_fault_points()["test.point"] == "first"
+
+
+class TestFiring:
+    def test_unarmed_point_is_free(self):
+        fault_point("test.nothing-armed")  # must not raise
+
+    def test_armed_point_raises(self):
+        arm(FaultPlan("test.p"))
+        with pytest.raises(InjectedFault):
+            fault_point("test.p")
+
+    def test_injected_fault_is_repro_error(self):
+        assert issubclass(InjectedFault, ReproError)
+
+    def test_context_travels_into_the_error(self):
+        arm(FaultPlan("test.p"))
+        with pytest.raises(InjectedFault) as info:
+            fault_point("test.p", pass_name="score", chunk=3)
+        assert info.value.pass_name == "score"
+        assert info.value.details["chunk"] == 3
+
+    def test_disarm_stops_firing(self):
+        arm(FaultPlan("test.p"))
+        disarm("test.p")
+        fault_point("test.p")
+
+    def test_max_fires_limits_transient_fault(self):
+        armed = arm(FaultPlan("test.p", max_fires=1))
+        with pytest.raises(InjectedFault):
+            fault_point("test.p")
+        fault_point("test.p")  # spent; must pass
+        assert armed.hits == 2
+        assert armed.fires == 1
+
+    def test_rate_zero_never_fires(self):
+        armed = arm(FaultPlan("test.p", rate=0.0))
+        for _ in range(20):
+            fault_point("test.p")
+        assert armed.hits == 20 and armed.fires == 0
+
+    def test_seeded_activation_is_deterministic(self):
+        def pattern(seed: int) -> list[bool]:
+            disarm_all()
+            arm(FaultPlan("test.p", rate=0.5, seed=seed))
+            fired = []
+            for _ in range(32):
+                try:
+                    fault_point("test.p")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert pattern(3) == pattern(3)
+        assert pattern(3) != pattern(4)  # different stream
+
+    def test_hang_mode_sleeps_then_continues(self):
+        import time
+
+        arm(FaultPlan("test.p", mode="hang", hang_seconds=0.05))
+        start = time.monotonic()
+        fault_point("test.p")  # must not raise
+        assert time.monotonic() - start >= 0.05
+
+
+class TestContextManager:
+    def test_injected_disarms_on_exit(self):
+        with injected(FaultPlan("test.p")) as armed:
+            assert "test.p" in armed
+            with pytest.raises(InjectedFault):
+                fault_point("test.p")
+        fault_point("test.p")  # disarmed
+
+    def test_injected_disarms_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with injected(FaultPlan("test.p")):
+                raise RuntimeError("boom")
+        fault_point("test.p")
+
+    def test_yields_counters(self):
+        with injected(FaultPlan("test.p", rate=0.0)) as armed:
+            fault_point("test.p")
+            assert armed["test.p"].hits == 1
+
+
+class TestWorkerHandoff:
+    def test_active_plans_snapshot(self):
+        plan = FaultPlan("test.p", mode="hang")
+        arm(plan)
+        assert active_plans() == (plan,)
+
+    def test_install_plans_rearms(self):
+        plan = FaultPlan("test.p")
+        snapshot = (plan,)
+        disarm_all()
+        install_plans(snapshot)
+        with pytest.raises(InjectedFault):
+            fault_point("test.p")
