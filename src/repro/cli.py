@@ -16,6 +16,8 @@ Installed as the ``lcmm`` console script::
     lcmm export resnet50 -o alloc.json     # allocation report for codegen
     lcmm doublebuffer        # legacy double-buffer baseline on linear nets
     lcmm batch resnet152 --images 16       # steady-state throughput
+    lcmm run googlenet --trace trace.json  # Chrome trace of the compilation
+    lcmm stats googlenet     # span/metric profile of one compilation
 """
 
 from __future__ import annotations
@@ -173,7 +175,31 @@ def _cmd_fig8(args: argparse.Namespace) -> None:
     print(format_table(headers, rows))
 
 
+def _traced(trace_path, body) -> None:
+    """Run ``body`` under tracing when ``--trace`` was given.
+
+    Dumps the run's spans plus a metrics snapshot as a Chrome trace JSON
+    (openable in ``chrome://tracing`` or https://ui.perfetto.dev).
+    """
+    from repro import obs
+
+    if not trace_path:
+        body()
+        return
+    obs.reset_registry()
+    with obs.tracing("main") as tracer:
+        body()
+    count = obs.write_chrome_trace(
+        trace_path, tracer, metrics=obs.registry().snapshot()
+    )
+    print(f"\nWrote Chrome trace ({count} spans) to {trace_path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
+    _traced(args.trace, lambda: _run_body(args))
+
+
+def _run_body(args: argparse.Namespace) -> None:
     cmp = run_comparison(
         args.model,
         precision_by_name(args.precision),
@@ -380,6 +406,10 @@ def _cmd_dot(args: argparse.Namespace) -> None:
 
 
 def _cmd_dse(args: argparse.Namespace) -> None:
+    _traced(args.trace, lambda: _dse_body(args))
+
+
+def _dse_body(args: argparse.Namespace) -> None:
     from repro.perf.dse import WorkerStats, explore_designs
 
     graph = _load_model(args.model)
@@ -425,6 +455,32 @@ def _cmd_cotune(args: argparse.Namespace) -> None:
             f"  {str(point.tile):28s} UMM {point.umm_latency * 1e3:8.3f} ms  "
             f"LCMM {point.lcmm_latency * 1e3:8.3f} ms{marker}"
         )
+
+
+def _cmd_stats(args: argparse.Namespace) -> None:
+    from repro import obs
+    from repro.lcmm.framework import run_lcmm
+    from repro.perf.latency import LatencyModel
+
+    graph = _load_model(args.model)
+    accel = reference_design(
+        args.model if args.model in BENCHMARKS else "resnet152",
+        precision_by_name(args.precision),
+        "lcmm",
+    )
+    model = LatencyModel(graph, accel)
+    obs.reset_registry()
+    with obs.tracing("main") as tracer:
+        result = run_lcmm(graph, accel, model=model)
+    print(f"LCMM on {graph.name} ({args.precision}): "
+          f"{result.latency * 1e3:.3f} ms, "
+          f"degradation level {result.degradation_level}\n")
+    print(obs.stats_table(tracer.records, obs.registry().snapshot()))
+    if args.trace:
+        count = obs.write_chrome_trace(
+            args.trace, tracer, metrics=obs.registry().snapshot()
+        )
+        print(f"\nWrote Chrome trace ({count} spans) to {args.trace}")
 
 
 def _cmd_report(args: argparse.Namespace) -> None:
@@ -481,6 +537,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the degradation chain: a pipeline failure is fatal",
     )
+    prun.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a Chrome trace (chrome://tracing) of the run to PATH",
+    )
     prun.set_defaults(func=_cmd_run)
 
     sub.add_parser(
@@ -530,7 +592,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="process count for the scoring sweep"
     )
     pdse.add_argument("--top", type=int, default=10, help="design points to print")
+    pdse.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a Chrome trace of the sweep (worker spans merged in)",
+    )
     pdse.set_defaults(func=_cmd_dse)
+
+    pstats = sub.add_parser(
+        "stats", help="profile one LCMM compilation: span/metric summary"
+    )
+    pstats.add_argument("model")
+    pstats.add_argument("--precision", default="int8")
+    pstats.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="additionally dump the Chrome trace to PATH",
+    )
+    pstats.set_defaults(func=_cmd_stats)
 
     pcotune = sub.add_parser("cotune", help="tile/allocation co-tuning sweep")
     pcotune.add_argument("model", choices=list(BENCHMARKS))

@@ -35,6 +35,10 @@ from typing import Callable, Sequence
 
 from repro.errors import PassError, PipelineError, ReproError
 from repro.hw.sram import BRAM36_BYTES, SRAMUsage, blocks_for
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.spans import annotate as obs_annotate
+from repro.obs.spans import enabled as obs_enabled
+from repro.obs.spans import span as obs_span
 from repro.ir.graph import ComputationGraph
 from repro.lcmm.buffers import PhysicalBuffer
 from repro.lcmm.feature_reuse import FeatureReuseResult
@@ -290,49 +294,92 @@ def run_lcmm(
     attempts = _degradation_chain(options, pipeline)
     failed: list[str] = []
     carried: list[PassDiagnostic] = []
-    for label, attempt_options in attempts:
-        if attempt_options is None:
-            result = umm_only_result(graph, accel, model=model)
-        else:
-            attempt_pipeline = (
-                list(pipeline)
-                if pipeline is not None and label == attempts[0][0]
-                else default_pipeline(attempt_options)
-            )
-            ctx = CompilationContext.create(
-                graph, accel, options=attempt_options, model=model
-            )
-            manager = PassManager(attempt_pipeline, strict=strict, recovery=recovery)
-            try:
-                manager.run(ctx)
-                result = package_result(ctx, manager)
-            except PipelineError:
-                # A malformed pipeline (unknown pass, broken artifact
-                # contract) is a caller error, not a runtime fault —
-                # degrading would silently ignore the caller's request.
-                raise
-            except ReproError as exc:
-                if not fallback:
-                    raise
-                failed.append(label)
-                carried.extend(ctx.diagnostics)
-                carried.append(
-                    PassDiagnostic(
-                        pass_name="framework",
-                        category="degraded",
-                        message=(
-                            f"attempt {label!r} failed "
-                            f"({type(exc).__name__}: {exc}); degrading"
-                        ),
-                        data={"attempt": label, "error": type(exc).__name__},
-                    )
+    with obs_span(
+        "lcmm.run", graph=graph.name, strict=strict, fallback=fallback
+    ) as run_span:
+        for label, attempt_options in attempts:
+            if attempt_options is None:
+                with obs_span("lcmm.attempt", label=label, graph=graph.name):
+                    result = umm_only_result(graph, accel, model=model)
+            else:
+                attempt_pipeline = (
+                    list(pipeline)
+                    if pipeline is not None and label == attempts[0][0]
+                    else default_pipeline(attempt_options)
                 )
-                continue
-        result.degradation_level = len(failed)
-        result.degradation_path = tuple(failed)
-        if carried:
-            result.diagnostics = tuple(carried) + result.diagnostics
-        return result
+                ctx = CompilationContext.create(
+                    graph, accel, options=attempt_options, model=model
+                )
+                manager = PassManager(
+                    attempt_pipeline, strict=strict, recovery=recovery
+                )
+                try:
+                    with obs_span("lcmm.attempt", label=label, graph=graph.name):
+                        manager.run(ctx)
+                        result = package_result(ctx, manager)
+                except PipelineError:
+                    # A malformed pipeline (unknown pass, broken artifact
+                    # contract) is a caller error, not a runtime fault —
+                    # degrading would silently ignore the caller's request.
+                    raise
+                except ReproError as exc:
+                    if not fallback:
+                        raise
+                    failed.append(label)
+                    carried.extend(ctx.diagnostics)
+                    carried.append(
+                        PassDiagnostic(
+                            pass_name="framework",
+                            category="degraded",
+                            message=(
+                                f"attempt {label!r} failed "
+                                f"({type(exc).__name__}: {exc}); degrading"
+                            ),
+                            data={"attempt": label, "error": type(exc).__name__},
+                        )
+                    )
+                    obs_annotate(
+                        "degraded", attempt=label, error=type(exc).__name__
+                    )
+                    continue
+            result.degradation_level = len(failed)
+            result.degradation_path = tuple(failed)
+            if carried:
+                result.diagnostics = tuple(carried) + result.diagnostics
+            run_span.annotate(
+                "lcmm.result",
+                landed=result.pipeline_description or "umm-only",
+                degradation_level=result.degradation_level,
+            )
+            if obs_enabled():
+                _publish_run_metrics(result, graph.name)
+            return result
     raise PassError(  # pragma: no cover — the UMM floor never raises ReproError
         "all degradation levels failed", details={"attempts": [a[0] for a in attempts]}
     )
+
+
+def _publish_run_metrics(result: LCMMResult, graph_name: str) -> None:
+    """Mirror one run's outcome into the process metrics registry.
+
+    Only called while observation is on (``lcmm run --trace``, ``lcmm
+    stats``, tests) — the plain compile path records nothing.
+    """
+    registry = obs_registry()
+    registry.counter("lcmm.runs", "LCMM compilations completed").inc(
+        graph=graph_name
+    )
+    registry.gauge(
+        "lcmm.degradation_level", "fallback-chain level of the last run"
+    ).set(result.degradation_level, graph=graph_name)
+    registry.histogram("lcmm.latency_seconds", "end-to-end Eq. 1 latency").observe(
+        result.latency, graph=graph_name
+    )
+    registry.gauge("lcmm.used_bytes", "block-rounded SRAM consumption").set(
+        result.sram_usage.used_bytes, graph=graph_name
+    )
+    registry.gauge("lcmm.onchip_tensors", "tensor values resident on chip").set(
+        len(result.onchip_tensors), graph=graph_name
+    )
+    if result.engine_stats is not None:
+        result.engine_stats.publish(registry, graph=graph_name)

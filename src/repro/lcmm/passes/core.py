@@ -24,11 +24,12 @@ touching the framework (``examples/custom_pipeline.py``).
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import CapacityError, PassError, PipelineError
+from repro.obs.spans import annotate as obs_annotate
+from repro.obs.spans import span, timed_span
 from repro.hw.sram import BRAM36_BYTES, blocks_for
 from repro.ir.graph import ComputationGraph
 from repro.lcmm.options import LCMMOptions
@@ -151,7 +152,11 @@ class CompilationContext:
         """
         options = options or LCMMOptions()
         model = model or LatencyModel(graph, accel)
-        engine = AllocationEngine(model) if options.use_engine else None
+        if options.use_engine:
+            with span("engine.build", graph=graph.name, nodes=len(model.nodes())):
+                engine = AllocationEngine(model)
+        else:
+            engine = None
         budget = options.sram_budget
         if budget is None:
             budget = accel.device.sram_bytes
@@ -357,19 +362,32 @@ class PassManager:
                         artifact=key,
                     )
             snapshot = dict(ctx.artifacts)
-            start = time.perf_counter()
+            # One span per pass is the *single* timing measurement: its
+            # wall time feeds timings(), EngineStats.pass_seconds and the
+            # trace record alike, on the success and failure paths both
+            # (the old start/except branches each computed their own
+            # elapsed).  The span also lands in the active trace with the
+            # pass name and, on failure, the error type.
+            pass_span = timed_span(
+                f"pass.{pass_.name}", graph=ctx.graph.name, strict=self.strict
+            )
             try:
-                fault_point(f"pass.{pass_.name}", pass_name=pass_.name)
-                pass_.run(ctx)
-                if self.strict:
-                    pass_.verify(ctx)
+                with pass_span:
+                    fault_point(f"pass.{pass_.name}", pass_name=pass_.name)
+                    pass_.run(ctx)
+                    if self.strict:
+                        pass_.verify(ctx)
             except PipelineError:
                 raise
             except Exception as exc:  # noqa: BLE001 — recovery boundary
-                elapsed = time.perf_counter() - start
+                elapsed = pass_span.seconds
+                if ctx.stats is not None:
+                    ctx.stats.pass_seconds[pass_.name] = (
+                        ctx.stats.pass_seconds.get(pass_.name, 0.0) + elapsed
+                    )
                 self._handle_failure(ctx, pass_, exc, elapsed, snapshot)
                 continue
-            elapsed = time.perf_counter() - start
+            elapsed = pass_span.seconds
             for key in pass_.produces:
                 if not ctx.has(key):
                     raise PipelineError(
@@ -419,6 +437,12 @@ class PassManager:
             + ("skipping it" if action == "skip" else "aborting the pipeline"),
             error=type(exc).__name__,
             action=action,
+        )
+        obs_annotate(
+            "pass-recovery",
+            pass_name=pass_.name,
+            action=action,
+            error=type(exc).__name__,
         )
         if action != "skip":
             raise wrapped from exc

@@ -1,0 +1,84 @@
+"""Unified observability: spans, metrics, exporters.
+
+One shared answer to "where did the milliseconds go on this run?" —
+previously split across ``PassManager.timings()``, ``EngineStats`` and
+``WorkerStats``, each with its own ad-hoc reporting.  Three pieces:
+
+* **Spans** (:mod:`repro.obs.spans`): hierarchical timed regions with a
+  thread-local stack, structured attributes and instant annotations;
+  workers serialize theirs back for cross-process merging.
+* **Metrics** (:mod:`repro.obs.metrics`): a registry of labeled
+  counters/gauges/histograms for aggregate work counts.
+* **Exporters** (:mod:`repro.obs.export`): Chrome/Perfetto trace JSON,
+  a flat JSON dump, and the human ``lcmm stats`` table.
+
+Zero dependencies, stdlib only.  Tracing is **off by default** and the
+disabled path is a no-op guard (one global load per :func:`span` call;
+see ``benchmarks/test_obs_overhead.py``), so instrumented code is free
+to ship with spans in place.  Naming conventions live in
+``docs/observability.md``.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        result = run_lcmm(graph, accel)
+    obs.write_chrome_trace("trace.json", tracer,
+                           metrics=obs.registry().snapshot())
+"""
+
+from repro.obs.export import chrome_trace, flat_json, stats_table, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    registry,
+    reset_registry,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    SpanEvent,
+    SpanRecord,
+    Tracer,
+    annotate,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    span,
+    timed_span,
+    tracer,
+    tracing,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "Span",
+    "SpanEvent",
+    "SpanRecord",
+    "Tracer",
+    "annotate",
+    "chrome_trace",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "flat_json",
+    "registry",
+    "reset_registry",
+    "span",
+    "stats_table",
+    "timed_span",
+    "tracer",
+    "tracing",
+    "write_chrome_trace",
+]

@@ -1,0 +1,224 @@
+"""Trace and metrics exporters.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` — the Chrome ``chrome://tracing`` / Perfetto JSON
+  object model (``traceEvents`` with complete ``"X"`` events per span,
+  instant ``"i"`` events per annotation, and process-name metadata), one
+  timeline per process so merged DSE worker spans render beside the
+  parent;
+* :func:`flat_json` — the full span/event/metric dump for programmatic
+  consumers and the property tests;
+* :func:`stats_table` — the human ``lcmm stats`` rendition: spans
+  aggregated by name (count, total, mean, min, max) followed by every
+  metric series.
+
+All exporters are pure functions over :class:`~repro.obs.spans.SpanRecord`
+sequences — they never touch the active tracer, so tests can feed them
+synthetic records.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.spans import SpanEvent, SpanRecord, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "flat_json",
+    "stats_table",
+    "write_chrome_trace",
+]
+
+
+def _pid_map(records: Sequence[SpanRecord]) -> dict[str, int]:
+    """Stable process-label -> pid assignment; ``"main"`` is always 1."""
+    pids: dict[str, int] = {}
+    for record in records:
+        if record.process not in pids:
+            pids[record.process] = 0
+    ordered = sorted(pids, key=lambda p: (p != "main", p))
+    return {process: index + 1 for index, process in enumerate(ordered)}
+
+
+def _tid_map(records: Sequence[SpanRecord]) -> dict[tuple[str, int], int]:
+    """Per-process thread-ident -> small tid assignment."""
+    tids: dict[tuple[str, int], int] = {}
+    counts: dict[str, int] = {}
+    for record in records:
+        key = (record.process, record.thread)
+        if key not in tids:
+            counts[record.process] = counts.get(record.process, 0) + 1
+            tids[key] = counts[record.process]
+    return tids
+
+
+def chrome_trace(
+    records: Sequence[SpanRecord],
+    events: Iterable[SpanEvent] = (),
+    metrics: Mapping[str, Any] | None = None,
+) -> dict:
+    """The trace as a Chrome/Perfetto JSON object (not yet serialized).
+
+    Span times are exported in microseconds, as the format requires.
+    The metrics snapshot, when given, rides along under ``otherData`` —
+    Perfetto ignores it, programmatic consumers keep one self-contained
+    artifact.
+    """
+    pids = _pid_map(records)
+    tids = _tid_map(records)
+    trace_events: list[dict] = []
+    for process, pid in sorted(pids.items(), key=lambda item: item[1]):
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+    for record in records:
+        pid = pids[record.process]
+        tid = tids[(record.process, record.thread)]
+        args = dict(record.attrs)
+        args["span_id"] = record.span_id
+        if record.parent_id is not None:
+            args["parent_id"] = record.parent_id
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": record.name,
+                "cat": record.name.split(".", 1)[0],
+                "ts": record.start * 1e6,
+                "dur": record.duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for event in record.events:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "name": event.name,
+                    "ts": event.time * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": dict(event.attrs),
+                }
+            )
+    main_pid = pids.get("main", 1)
+    for event in events:
+        trace_events.append(
+            {
+                "ph": "i",
+                "name": event.name,
+                "ts": event.time * 1e6,
+                "pid": main_pid,
+                "tid": 0,
+                "s": "p",
+                "args": dict(event.attrs),
+            }
+        )
+    trace: dict = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        trace["otherData"] = {"metrics": dict(metrics)}
+    return trace
+
+
+def flat_json(
+    records: Sequence[SpanRecord],
+    events: Iterable[SpanEvent] = (),
+    metrics: Mapping[str, Any] | None = None,
+) -> dict:
+    """The complete observability state as one JSON-friendly dict."""
+    return {
+        "spans": [record.as_dict() for record in records],
+        "events": [event.as_dict() for event in events],
+        "metrics": dict(metrics) if metrics is not None else {},
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: Tracer,
+    metrics: Mapping[str, Any] | None = None,
+) -> int:
+    """Serialize a tracer's spans to ``path``; returns the span count."""
+    trace = chrome_trace(tracer.records, tracer.events, metrics=metrics)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=1, default=str)
+        handle.write("\n")
+    return len(tracer.records)
+
+
+def _format_rows(headers: tuple[str, ...], rows: list[tuple]) -> str:
+    """Minimal fixed-width table (kept local: obs imports nothing above it)."""
+    table = [tuple(str(cell) for cell in row) for row in [headers, *rows]]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def stats_table(
+    records: Sequence[SpanRecord],
+    metrics: Mapping[str, Any] | None = None,
+) -> str:
+    """Spans aggregated by name plus every metric series, as text."""
+    aggregate: dict[str, list[float]] = {}
+    for record in records:
+        aggregate.setdefault(record.name, []).append(record.duration)
+    span_rows = [
+        (
+            name,
+            len(durations),
+            f"{sum(durations) * 1e3:.3f}",
+            f"{sum(durations) / len(durations) * 1e3:.3f}",
+            f"{min(durations) * 1e3:.3f}",
+            f"{max(durations) * 1e3:.3f}",
+        )
+        for name, durations in sorted(
+            aggregate.items(), key=lambda item: -sum(item[1])
+        )
+    ]
+    sections = [
+        "Spans (by total time):",
+        _format_rows(
+            ("span", "count", "total ms", "mean ms", "min ms", "max ms"), span_rows
+        )
+        if span_rows
+        else "  (none recorded)",
+    ]
+    if metrics:
+        metric_rows = []
+        for name, payload in metrics.items():
+            series = payload.get("series", {})
+            if not series:
+                continue
+            for labels, value in sorted(series.items()):
+                if isinstance(value, dict):  # histogram summary
+                    rendered = (
+                        f"count={value['count']} total={value['total']:.6g} "
+                        f"mean={value['mean']:.6g}"
+                    )
+                else:
+                    rendered = f"{value:.6g}"
+                metric_rows.append(
+                    (name, payload.get("kind", "?"), labels or "-", rendered)
+                )
+        sections.append("")
+        sections.append("Metrics:")
+        sections.append(
+            _format_rows(("metric", "kind", "labels", "value"), metric_rows)
+            if metric_rows
+            else "  (none recorded)"
+        )
+    return "\n".join(sections)

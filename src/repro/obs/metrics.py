@@ -1,0 +1,205 @@
+"""Metrics: labeled counters, gauges and histograms.
+
+The aggregate side of :mod:`repro.obs` — where spans answer "where did
+this run's milliseconds go", metrics answer "how much work happened":
+engine transitions, DSE chunk retries, degradation levels.  Each metric
+owns a family of *series* keyed by its label values, mirroring the
+Prometheus data model but with zero dependencies and an in-process
+registry.
+
+Instruments are cheap (one lock + dict update per observation) but not
+free, so production call sites record them at run granularity — e.g.
+mirroring :class:`repro.perf.engine.EngineStats` once per compilation —
+never inside per-node hot loops.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "registry",
+    "reset_registry",
+]
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: tuple[tuple[str, str], ...]) -> str:
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+class _Metric:
+    """Shared machinery: name, description, per-label-set series."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._series: dict[tuple[tuple[str, str], ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def series(self) -> dict[str, Any]:
+        """Snapshot of every series as ``label-string -> value``."""
+        with self._lock:
+            return {_label_str(key): self._snap(value) for key, value in self._series.items()}
+
+    @staticmethod
+    def _snap(value: Any) -> Any:
+        return value
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum per label set."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {value})")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + value
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+
+class Gauge(_Metric):
+    """A point-in-time value per label set (last write wins)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+
+@dataclass
+class HistogramSummary:
+    """Running summary of one histogram series."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class Histogram(_Metric):
+    """Distribution summary (count/total/min/max/mean) per label set."""
+
+    kind = "histogram"
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            summary = self._series.get(key)
+            if summary is None:
+                summary = self._series[key] = HistogramSummary()
+            summary.count += 1
+            summary.total += value
+            summary.minimum = min(summary.minimum, value)
+            summary.maximum = max(summary.maximum, value)
+
+    def summary(self, **labels: Any) -> HistogramSummary:
+        with self._lock:
+            return self._series.get(_label_key(labels), HistogramSummary())
+
+    @staticmethod
+    def _snap(value: HistogramSummary) -> dict:
+        return value.as_dict()
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics.
+
+    Asking twice for the same name returns the same instrument; asking
+    for an existing name as a different kind raises, so two subsystems
+    cannot silently fight over one series.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls: type, name: str, description: str) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, description)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, description)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Every metric with every series, JSON-friendly, sorted by name."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {
+            name: {
+                "kind": metric.kind,
+                "description": metric.description,
+                "series": metric.series(),
+            }
+            for name, metric in sorted(metrics.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry production code records into.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def reset_registry() -> None:
+    """Clear the process-wide registry (between runs/tests)."""
+    _REGISTRY.reset()

@@ -1,0 +1,384 @@
+"""Hierarchical tracing spans with a thread-local span stack.
+
+The tracing side of :mod:`repro.obs`.  A :class:`Span` is a context
+manager that measures monotonic wall time and, when a :class:`Tracer` is
+active, records itself with structured attributes, a unique id and a
+parent link taken from the top of the calling thread's span stack — so
+nested ``with span(...)`` blocks form a tree without any explicit
+plumbing.
+
+**Disabled cost is one global load.**  :func:`span` returns the shared
+:data:`NULL_SPAN` singleton when no tracer is active; entering and
+exiting it does nothing at all.  Call sites that need the measured wall
+time even without a tracer (the :class:`PassManager`'s per-pass
+accounting) use :func:`timed_span`, which always times but only records
+when a tracer is active.
+
+**Cross-process merging.**  Workers (the parallel DSE pool) run their
+own tracer, serialize finished spans with :meth:`SpanRecord.as_dict`,
+and ship them back with their results; the parent tracer's
+:meth:`Tracer.merge` remaps span ids into its own id space — preserving
+parent/child links within the merged batch — and tags the records with
+the worker's process label.  Clock epochs are *not* aligned across
+processes: merged spans stay on their own process timeline (Chrome's
+trace viewer renders each pid separately), and the schema only promises
+monotonicity within a process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "SpanEvent",
+    "SpanRecord",
+    "Tracer",
+    "annotate",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "span",
+    "timed_span",
+    "tracer",
+    "tracing",
+]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One instant annotation: a named point in time inside a trace.
+
+    Attributes:
+        name: Kebab-case event tag (e.g. ``"fault-injected"``).
+        time: Seconds relative to the owning tracer's epoch.
+        attrs: Structured supporting values.
+    """
+
+    name: str
+    time: float
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "time": self.time, "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpanEvent":
+        return cls(
+            name=data["name"], time=data["time"], attrs=dict(data.get("attrs", {}))
+        )
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, with times relative to its tracer's epoch.
+
+    Attributes:
+        name: Hierarchical dotted span name (``"pass.allocate_dnnk"``).
+        span_id: Unique (per trace) id.
+        parent_id: Enclosing span's id, or ``None`` for a root span.
+        start: Seconds from the tracer epoch to span entry.
+        duration: Wall seconds between entry and exit (never negative).
+        process: Label of the emitting process (``"main"``,
+            ``"dse-worker-1234"``...).
+        thread: ``threading.get_ident()`` of the emitting thread.
+        attrs: Structured attributes given at creation (plus ``"error"``
+            when the span exited via an exception).
+        events: Instant annotations emitted inside the span.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    duration: float
+    process: str
+    thread: int
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+    events: tuple[SpanEvent, ...] = ()
+
+    def as_dict(self) -> dict:
+        """JSON/pickle-friendly view (the worker serialization format)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "process": self.process,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpanRecord":
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=data["start"],
+            duration=data["duration"],
+            process=data.get("process", "main"),
+            thread=data.get("thread", 0),
+            attrs=dict(data.get("attrs", {})),
+            events=tuple(
+                SpanEvent.from_dict(event) for event in data.get("events", ())
+            ),
+        )
+
+
+class Tracer:
+    """Collects finished spans for one process.
+
+    Thread-safe: ids come from an atomic counter, the span stack is
+    thread-local (each thread nests independently), and the finished
+    record list is guarded by a lock.
+    """
+
+    def __init__(self, process: str = "main") -> None:
+        self.process = process
+        #: ``perf_counter`` value all record times are relative to.
+        self.epoch = time.perf_counter()
+        #: Finished spans, in completion order.
+        self.records: list[SpanRecord] = []
+        #: Instant annotations emitted outside any open span.
+        self.events: list[SpanEvent] = []
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list["Span"]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current_span(self) -> "Span | None":
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    def add_event(self, event: SpanEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def merge(
+        self, serialized: Iterable[Mapping[str, Any]], process: str | None = None
+    ) -> int:
+        """Adopt spans serialized in another process; returns the count.
+
+        Span ids are remapped into this tracer's id space so merged
+        traces never collide; parent links *within* the batch are
+        remapped consistently, while parents that are not part of the
+        batch (none, in practice) become roots.  Times are left on the
+        worker's own epoch — the schema promises monotonicity per
+        process, not cross-process alignment.
+        """
+        batch = [SpanRecord.from_dict(data) for data in serialized]
+        id_map = {record.span_id: self.next_id() for record in batch}
+        merged = [
+            replace(
+                record,
+                span_id=id_map[record.span_id],
+                parent_id=id_map.get(record.parent_id),
+                process=process if process is not None else record.process,
+            )
+            for record in batch
+        ]
+        with self._lock:
+            self.records.extend(merged)
+        return len(merged)
+
+
+#: The process-wide active tracer (``None`` = tracing disabled).
+_ACTIVE: Tracer | None = None
+
+
+class Span:
+    """A timed region; records into the tracer active at entry.
+
+    Always measures wall time (``seconds`` is valid even with tracing
+    disabled); id assignment, stack membership and record emission only
+    happen under an active tracer.  Reusable but not reentrant.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "_start", "_end", "_tracer", "_events")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self._start = 0.0
+        self._end = 0.0
+        self._tracer: Tracer | None = None
+        self._events: list[SpanEvent] = []
+
+    @property
+    def seconds(self) -> float:
+        """Measured wall time (0.0 before the span has exited)."""
+        return self._end - self._start if self._end else 0.0
+
+    def annotate(self, name: str, **attrs: Any) -> None:
+        """Attach an instant event to this span (no-op when untraced)."""
+        if self._tracer is not None:
+            self._events.append(
+                SpanEvent(name, time.perf_counter() - self._tracer.epoch, attrs)
+            )
+
+    def __enter__(self) -> "Span":
+        tracer = _ACTIVE
+        self._tracer = tracer
+        if tracer is not None:
+            self.span_id = tracer.next_id()
+            stack = tracer._stack()
+            self.parent_id = stack[-1].span_id if stack else None
+            stack.append(self)
+        self._start = time.perf_counter()
+        self._end = 0.0
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._end = time.perf_counter()
+        tracer = self._tracer
+        if tracer is not None:
+            stack = tracer._stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+            elif self in stack:  # pragma: no cover — unbalanced exit
+                stack.remove(self)
+            attrs = dict(self.attrs)
+            if exc_type is not None:
+                attrs["error"] = exc_type.__name__
+            tracer.record(
+                SpanRecord(
+                    name=self.name,
+                    span_id=self.span_id,
+                    parent_id=self.parent_id,
+                    start=self._start - tracer.epoch,
+                    duration=self._end - self._start,
+                    process=tracer.process,
+                    thread=threading.get_ident(),
+                    attrs=attrs,
+                    events=tuple(self._events),
+                )
+            )
+            self._events = []
+        return False
+
+
+class _NullSpan:
+    """The disabled-tracing span: every operation is a no-op."""
+
+    __slots__ = ()
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, name: str, **attrs: Any) -> None:
+        return None
+
+
+#: Shared no-op span returned by :func:`span` while tracing is disabled.
+NULL_SPAN = _NullSpan()
+
+
+def enabled() -> bool:
+    """Whether a tracer is currently active."""
+    return _ACTIVE is not None
+
+
+def tracer() -> Tracer | None:
+    """The active tracer, or ``None``."""
+    return _ACTIVE
+
+
+def enable(process: str = "main") -> Tracer:
+    """Install (and return) a fresh process-wide tracer."""
+    global _ACTIVE
+    _ACTIVE = Tracer(process)
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Remove the active tracer; :func:`span` reverts to the no-op."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def tracing(process: str = "main") -> Iterator[Tracer]:
+    """Scoped tracing: installs a fresh tracer, restores the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    installed = Tracer(process)
+    _ACTIVE = installed
+    try:
+        yield installed
+    finally:
+        _ACTIVE = previous
+
+
+def span(name: str, **attrs: Any):
+    """A traced region, or the shared no-op when tracing is disabled.
+
+    The instrumentation primitive for call sites that only care about
+    the trace: with no tracer active this is one global load and returns
+    :data:`NULL_SPAN` without allocating anything.
+    """
+    if _ACTIVE is None:
+        return NULL_SPAN
+    return Span(name, **attrs)
+
+
+def timed_span(name: str, **attrs: Any) -> Span:
+    """A span that measures wall time even when tracing is disabled.
+
+    For call sites whose timing feeds an API of its own (the pass
+    manager's ``timings()``): the measurement always happens, the trace
+    record only under an active tracer.
+    """
+    return Span(name, **attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread (``None`` when untraced)."""
+    tracer = _ACTIVE
+    return tracer.current_span() if tracer is not None else None
+
+
+def annotate(name: str, **attrs: Any) -> None:
+    """Attach an instant event to the innermost open span.
+
+    Falls back to the tracer's top-level event list when no span is open;
+    a single dict-load no-op when tracing is disabled.  This is how
+    deeply nested machinery (fault injection, recovery handlers) marks
+    occurrences without threading a span through every signature.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    current = tracer.current_span()
+    if current is not None:
+        current.annotate(name, **attrs)
+    else:
+        tracer.add_event(SpanEvent(name, time.perf_counter() - tracer.epoch, attrs))

@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.errors import CapacityError, ConfigError
+from repro.obs import spans as obs
 from repro.robustness import inject
 from repro.robustness.inject import declare_fault_point, fault_point
 from repro.ir.graph import ComputationGraph
@@ -256,18 +258,44 @@ def _dse_init(
     graph: ComputationGraph,
     base: AcceleratorConfig,
     fault_plans: tuple = (),
+    trace: bool = False,
 ) -> None:
     global _worker_scorer
     _worker_scorer = _SweepScorer(graph, base)
     # Fault injection armed in the parent follows the work into the
     # worker (chaos tests for the crash/timeout recovery paths).
     inject.install_plans(fault_plans)
+    # Tracing armed in the parent follows too: the worker runs its own
+    # tracer (own epoch, own process label) and ships finished spans back
+    # with each chunk's scores for parent-side merging.  A forked worker
+    # inherits the parent's tracer object, so always install a fresh one
+    # (or none) rather than recording into the inherited copy.
+    if trace:
+        obs.enable(f"dse-worker-{os.getpid()}")
+    else:
+        obs.disable()
 
 
-def _score_chunk(tiles: list[TileConfig], index: int = 0) -> list[float]:
-    """Score one contiguous chunk of tiles in a worker process."""
+def _score_chunk(
+    tiles: list[TileConfig], index: int = 0
+) -> tuple[list[float], list[dict]]:
+    """Score one contiguous chunk of tiles in a worker process.
+
+    Returns the scores plus the serialized spans recorded while scoring
+    (empty when tracing is off), so the parent can merge per-chunk worker
+    timelines into its trace.
+    """
     fault_point("dse.chunk", chunk=index)
-    return [_worker_scorer.score(tile) for tile in tiles]
+    tracer = obs.tracer()
+    mark = len(tracer.records) if tracer is not None else 0
+    with obs.span("dse.chunk", chunk=index, tiles=len(tiles)):
+        scores = [_worker_scorer.score(tile) for tile in tiles]
+    spans = (
+        [record.as_dict() for record in tracer.records[mark:]]
+        if tracer is not None
+        else []
+    )
+    return scores, spans
 
 
 def _score_parallel(
@@ -297,11 +325,12 @@ def _score_parallel(
     chunk = max(1, math.ceil(len(tiles) / (workers * 4)))
     chunks = [tiles[i : i + chunk] for i in range(0, len(tiles), chunk)]
     stats.chunks = len(chunks)
+    tracer = obs.tracer()
     results: list[list[float] | None] = [None] * len(chunks)
     pool = ProcessPoolExecutor(
         max_workers=min(workers, len(chunks)),
         initializer=_dse_init,
-        initargs=(graph, base, inject.active_plans()),
+        initargs=(graph, base, inject.active_plans(), tracer is not None),
     )
     try:
         pending = list(range(len(chunks)))
@@ -315,7 +344,10 @@ def _score_parallel(
                     # Chunks run concurrently, so waiting on them in
                     # submission order still gives each roughly its own
                     # deadline — and never mislabels a healthy chunk.
-                    results[i] = future.result(timeout=chunk_timeout)
+                    scores, worker_spans = future.result(timeout=chunk_timeout)
+                    results[i] = scores
+                    if tracer is not None and worker_spans:
+                        tracer.merge(worker_spans)
                 except FutureTimeout:
                     stats.timeouts += 1
                     future.cancel()
@@ -336,9 +368,10 @@ def _score_parallel(
     lost = [i for i in range(len(chunks)) if results[i] is None]
     if lost:
         stats.serial_chunks = len(lost)
-        scorer = _SweepScorer(graph, base)
-        for i in lost:
-            results[i] = [scorer.score(tile) for tile in chunks[i]]
+        with obs.span("dse.serial-rescore", chunks=len(lost)):
+            scorer = _SweepScorer(graph, base)
+            for i in lost:
+                results[i] = [scorer.score(tile) for tile in chunks[i]]
     return [lat for part in results for lat in part]
 
 
@@ -406,27 +439,33 @@ def explore_designs(
         )
     tile_list = [tile for tile, _ in feasible]
     workers = min(workers, len(tile_list))
-    latencies: list[float] | None = None
-    if workers > 1:
-        try:
-            latencies = _score_parallel(
-                graph,
-                base,
-                tile_list,
-                workers,
-                chunk_timeout=chunk_timeout,
-                chunk_retries=chunk_retries,
-                stats=stats,
-            )
-        except Exception:
-            # Pool could not even be created (sandboxed interpreter, no
-            # fork/spawn support...); the serial path below is exact.
-            if stats is not None:
-                stats.pool_unavailable = True
-            latencies = None
-    if latencies is None:
-        scorer = _SweepScorer(graph, base)
-        latencies = [scorer.score(tile) for tile in tile_list]
+    with obs.span(
+        "dse.explore", graph=graph.name, tiles=len(tile_list), workers=workers
+    ):
+        latencies: list[float] | None = None
+        if workers > 1:
+            try:
+                latencies = _score_parallel(
+                    graph,
+                    base,
+                    tile_list,
+                    workers,
+                    chunk_timeout=chunk_timeout,
+                    chunk_retries=chunk_retries,
+                    stats=stats,
+                )
+            except Exception:
+                # Pool could not even be created (sandboxed interpreter, no
+                # fork/spawn support...); the serial path below is exact.
+                if stats is not None:
+                    stats.pool_unavailable = True
+                latencies = None
+        if latencies is None:
+            with obs.span("dse.serial-sweep", tiles=len(tile_list)):
+                scorer = _SweepScorer(graph, base)
+                latencies = [scorer.score(tile) for tile in tile_list]
+        if obs.enabled() and stats is not None:
+            _publish_sweep_metrics(stats, graph.name)
     points = [
         DesignPoint(
             accel=_configure(base, tile),
@@ -437,6 +476,25 @@ def explore_designs(
     ]
     points.sort(key=lambda p: p.umm_latency)
     return points
+
+
+def _publish_sweep_metrics(stats: WorkerStats, graph_name: str) -> None:
+    """Mirror one sweep's :class:`WorkerStats` into the metrics registry."""
+    from repro.obs.metrics import registry
+
+    counters = registry()
+    for name, value in (
+        ("dse.chunks", stats.chunks),
+        ("dse.retries", stats.retries),
+        ("dse.timeouts", stats.timeouts),
+        ("dse.failures", stats.failures),
+        ("dse.serial_chunks", stats.serial_chunks),
+    ):
+        counters.counter(name).inc(value, graph=graph_name)
+    counters.gauge("dse.pool_broken").set(float(stats.pool_broken), graph=graph_name)
+    counters.gauge("dse.pool_unavailable").set(
+        float(stats.pool_unavailable), graph=graph_name
+    )
 
 
 def best_design(

@@ -82,6 +82,29 @@ class EngineStats:
             "pass_seconds": dict(self.pass_seconds),
         }
 
+    def publish(self, registry, **labels) -> None:
+        """Mirror the counters into a :class:`repro.obs.MetricsRegistry`.
+
+        Called once per compilation at run granularity (never from the
+        engine's hot loop), so the per-transition counters stay plain
+        integer increments and the metrics layer costs nothing unless a
+        run is being observed.
+        """
+        for name, value in (
+            ("engine.node_evaluations", self.node_evaluations),
+            ("engine.full_rescores", self.full_rescores),
+            ("engine.applies", self.applies),
+            ("engine.undos", self.undos),
+            ("engine.gain_cache_hits", self.gain_cache_hits),
+            ("engine.gain_cache_misses", self.gain_cache_misses),
+        ):
+            registry.counter(name).inc(value, **labels)
+        timer = registry.histogram(
+            "engine.pass_seconds", "wall seconds per framework pass"
+        )
+        for pass_name, seconds in self.pass_seconds.items():
+            timer.observe(seconds, **dict(labels, pass_name=pass_name))
+
 
 class _PassTimer:
     """Accumulates elapsed wall time into ``stats.pass_seconds[name]``."""

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from repro.errors import ConfigError, InjectedFault
+from repro.obs.spans import annotate as obs_annotate
 
 _MODES = ("raise", "hang", "crash")
 
@@ -93,6 +94,9 @@ class ArmedFault:
         if self._rng.random() >= plan.rate:
             return
         self.fires += 1
+        obs_annotate(
+            "fault-injected", point=plan.point, mode=plan.mode, fire=self.fires
+        )
         if plan.mode == "hang":
             time.sleep(plan.hang_seconds)
             return

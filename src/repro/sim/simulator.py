@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.ir.tensor import TensorKind, weight_tensor_name
 from repro.lcmm.prefetch import PrefetchResult
+from repro.obs.spans import span as obs_span
 from repro.perf.latency import LatencyModel
 from repro.sim.events import EventKind, TimelineEvent
 
@@ -80,6 +81,19 @@ def simulate(
     Returns:
         The simulated timeline.
     """
+    with obs_span(
+        "sim.simulate", graph=model.graph.name, onchip=len(onchip)
+    ) as sim_span:
+        return _simulate(model, onchip, prefetch, record_events, sim_span)
+
+
+def _simulate(
+    model: LatencyModel,
+    onchip: frozenset[str],
+    prefetch: PrefetchResult | None,
+    record_events: bool,
+    sim_span,
+) -> SimulationResult:
     schedule = model.nodes()
     index_of = {name: idx for idx, name in enumerate(schedule)}
     events: list[TimelineEvent] = []
@@ -89,15 +103,16 @@ def simulate(
             events.append(TimelineEvent(time, kind, node, detail, duration))
 
     # Prefetch loads to issue when a given node starts.
-    issue_at: dict[str, list[tuple[str, float]]] = {}
-    prefetched_nodes: set[str] = set()
-    if prefetch is not None:
-        for node, edge in prefetch.edges.items():
-            wname = weight_tensor_name(node)
-            if wname not in onchip:
-                continue
-            issue_at.setdefault(edge.start, []).append((node, edge.load_time))
-            prefetched_nodes.add(node)
+    with obs_span("sim.setup", nodes=len(schedule)):
+        issue_at: dict[str, list[tuple[str, float]]] = {}
+        prefetched_nodes: set[str] = set()
+        if prefetch is not None:
+            for node, edge in prefetch.edges.items():
+                wname = weight_tensor_name(node)
+                if wname not in onchip:
+                    continue
+                issue_at.setdefault(edge.start, []).append((node, edge.load_time))
+                prefetched_nodes.add(node)
 
     clock = 0.0
     weights_ready: dict[str, float] = {}
@@ -129,67 +144,76 @@ def simulate(
                 emit(done_at, EventKind.PREFETCH_END, entry[0], "wt")
                 outstanding.pop(0)
 
-    for name in schedule:
-        ll = model.layer(name)
+    # The event loop proper, as its own phase span in the trace.
+    walk_span = obs_span("sim.schedule-walk", nodes=len(schedule))
+    with walk_span:
+        for name in schedule:
+            ll = model.layer(name)
 
-        # Issue this node's prefetches before it starts executing: the PDG
-        # says the load begins when the start node begins.
-        for target, load_time in issue_at.get(name, ()):
-            outstanding.append([target, load_time])
-            emit(clock, EventKind.PREFETCH_START, target, "wt", load_time)
+            # Issue this node's prefetches before it starts executing: the
+            # PDG says the load begins when the start node begins.
+            for target, load_time in issue_at.get(name, ()):
+                outstanding.append([target, load_time])
+                emit(clock, EventKind.PREFETCH_START, target, "wt", load_time)
 
-        # Stall until prefetched weights are resident; stalled time is
-        # pure idle on every channel, so prefetches drain during it.
-        start = clock
-        if name in prefetched_nodes and weights_ready.get(name) is None:
-            pos = next(
-                (i for i, e in enumerate(outstanding) if e[0] == name), None
-            )
-            if pos is not None:
-                # Time to finish everything up to and including ours if
-                # the channel were fully idle from now on.
-                wait = sum(e[1] for e in outstanding[: pos + 1])
-                emit(start, EventKind.STALL, name, "await-prefetch", wait)
-                stall_total += wait
-                drain_prefetches(start, start + wait, demand=0.0)
-                start += wait
-        node_start[name] = start
-        emit(start, EventKind.NODE_START, name)
+            # Stall until prefetched weights are resident; stalled time is
+            # pure idle on every channel, so prefetches drain during it.
+            start = clock
+            if name in prefetched_nodes and weights_ready.get(name) is None:
+                pos = next(
+                    (i for i, e in enumerate(outstanding) if e[0] == name), None
+                )
+                if pos is not None:
+                    # Time to finish everything up to and including ours if
+                    # the channel were fully idle from now on.
+                    wait = sum(e[1] for e in outstanding[: pos + 1])
+                    emit(start, EventKind.STALL, name, "await-prefetch", wait)
+                    walk_span.annotate("sim.stall", node=name, wait=wait)
+                    stall_total += wait
+                    drain_prefetches(start, start + wait, demand=0.0)
+                    start += wait
+            node_start[name] = start
+            emit(start, EventKind.NODE_START, name)
 
-        end = start + ll.compute
-        # Demand transfers overlap the node's own compute (double
-        # buffering); each occupies its channel for its duration.
-        if_time = ll.slot_latency(TensorKind.IFMAP, onchip)
-        of_time = ll.slot_latency(TensorKind.OFMAP, onchip)
-        wt_time = ll.slot_latency(TensorKind.WEIGHT, onchip)
-        if if_time > 0:
-            busy["if"] += if_time
-            emit(start, EventKind.TRANSFER, name, "if", if_time)
-            end = max(end, start + if_time)
-        if of_time > 0:
-            busy["of"] += of_time
-            emit(start, EventKind.TRANSFER, name, "of", of_time)
-            end = max(end, start + of_time)
-        if wt_time > 0:
-            # Demand weight tiles have channel priority over prefetches.
-            busy["wt"] += wt_time
-            emit(start, EventKind.TRANSFER, name, "wt", wt_time)
-            end = max(end, start + wt_time)
+            end = start + ll.compute
+            # Demand transfers overlap the node's own compute (double
+            # buffering); each occupies its channel for its duration.
+            if_time = ll.slot_latency(TensorKind.IFMAP, onchip)
+            of_time = ll.slot_latency(TensorKind.OFMAP, onchip)
+            wt_time = ll.slot_latency(TensorKind.WEIGHT, onchip)
+            if if_time > 0:
+                busy["if"] += if_time
+                emit(start, EventKind.TRANSFER, name, "if", if_time)
+                end = max(end, start + if_time)
+            if of_time > 0:
+                busy["of"] += of_time
+                emit(start, EventKind.TRANSFER, name, "of", of_time)
+                end = max(end, start + of_time)
+            if wt_time > 0:
+                # Demand weight tiles have channel priority over prefetches.
+                busy["wt"] += wt_time
+                emit(start, EventKind.TRANSFER, name, "wt", wt_time)
+                end = max(end, start + wt_time)
 
-        # Whatever the window leaves idle on the weight channel feeds the
-        # outstanding prefetches.
-        drain_prefetches(start, end, demand=wt_time)
+            # Whatever the window leaves idle on the weight channel feeds
+            # the outstanding prefetches.
+            drain_prefetches(start, end, demand=wt_time)
 
-        node_end[name] = end
-        emit(end, EventKind.NODE_END, name)
-        clock = end
+            node_end[name] = end
+            emit(end, EventKind.NODE_END, name)
+            clock = end
 
-    events.sort(key=lambda e: e.time)
-    return SimulationResult(
-        total_latency=clock,
-        node_start=node_start,
-        node_end=node_end,
-        stall_time=stall_total,
-        channel_busy=busy,
-        events=events,
+    with obs_span("sim.finalize", events=len(events)):
+        events.sort(key=lambda e: e.time)
+        result = SimulationResult(
+            total_latency=clock,
+            node_start=node_start,
+            node_end=node_end,
+            stall_time=stall_total,
+            channel_busy=busy,
+            events=events,
+        )
+    sim_span.annotate(
+        "sim.result", makespan=result.total_latency, stall=result.stall_time
     )
+    return result

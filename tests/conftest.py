@@ -77,6 +77,20 @@ def small_accel(
     )
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/*.json result fingerprints",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def chain_graph() -> ComputationGraph:
     return build_chain()

@@ -1,0 +1,157 @@
+"""Golden-result regression suite: executable bit-for-bit parity claims.
+
+Every zoo model is compiled under four configurations — the UMM floor,
+plain DNNK, the greedy allocator, and the full splitting pipeline — and
+reduced to a fingerprint: a hash of the complete allocation decision
+(on-chip set, physical buffers, residuals, fractions), the exact
+end-to-end latency (as a float hex string, so equality is bit-for-bit,
+not approximate), the block-rounded ``used_bytes``, and the
+``degradation_level``.  The fingerprints are checked into
+``tests/golden/*.json``.
+
+Any change that moves an allocation result — an engine tweak, a pass
+reorder, new instrumentation — fails here with a per-config, per-field
+diff instead of silently shifting the reproduced tables.  Intentional
+result changes regenerate the files with::
+
+    python -m pytest tests/test_golden_results.py --update-golden
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import BENCHMARKS, reference_design
+from repro.hw.precision import INT8
+from repro.lcmm.framework import LCMMOptions, LCMMResult, run_lcmm, umm_only_result
+from repro.models.zoo import get_model, list_models
+from repro.perf.latency import LatencyModel
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Configuration label -> LCMM options (``None`` = the pass-free UMM floor).
+CONFIGS: dict[str, LCMMOptions | None] = {
+    "umm": None,
+    "dnnk": LCMMOptions(splitting=False),
+    "greedy": LCMMOptions(use_greedy=True, splitting=False),
+    "splitting": LCMMOptions(),
+}
+
+#: (graph, accel, latency model) per model, built once for all configs.
+_SETUP_CACHE: dict[str, tuple] = {}
+
+
+def _setup(model_name: str):
+    if model_name not in _SETUP_CACHE:
+        graph = get_model(model_name)
+        design_key = model_name if model_name in BENCHMARKS else "resnet152"
+        accel = reference_design(design_key, INT8, "lcmm")
+        _SETUP_CACHE[model_name] = (graph, accel, LatencyModel(graph, accel))
+    return _SETUP_CACHE[model_name]
+
+
+def fingerprint(result: LCMMResult) -> dict:
+    """Reduce one result to its checked-in regression fingerprint.
+
+    The allocation hash covers everything that defines the memory
+    management decision; the remaining fields are the headline numbers a
+    reviewer wants to see directly in a diff.
+    """
+    allocation = {
+        "onchip": sorted(result.onchip_tensors),
+        "buffers": [
+            [
+                buf.name,
+                sorted(buf.tensor_names),
+                buf.size_bytes,
+                buf.uram_blocks,
+                buf.bram36_blocks,
+            ]
+            for buf in result.physical_buffers
+        ],
+        "residuals": sorted(
+            (name, float(value).hex()) for name, value in result.residuals.items()
+        ),
+        "fractions": sorted(
+            (name, float(value).hex()) for name, value in result.fractions.items()
+        ),
+    }
+    digest = hashlib.sha256(
+        json.dumps(allocation, sort_keys=True).encode()
+    ).hexdigest()
+    return {
+        "allocation_sha256": digest,
+        "latency_hex": float(result.latency).hex(),
+        "latency_ms": round(result.latency * 1e3, 6),
+        "used_bytes": result.sram_usage.used_bytes,
+        "onchip_tensors": len(result.onchip_tensors),
+        "degradation_level": result.degradation_level,
+    }
+
+
+def compute_fingerprint(model_name: str, config: str) -> dict:
+    graph, accel, model = _setup(model_name)
+    options = CONFIGS[config]
+    if options is None:
+        result = umm_only_result(graph, accel, model=model)
+    else:
+        result = run_lcmm(graph, accel, options=options, model=model)
+    return fingerprint(result)
+
+
+def _diff(expected: dict, actual: dict) -> str:
+    """Human-readable field-level diff across all configs."""
+    lines = []
+    for config in sorted(set(expected) | set(actual)):
+        exp, act = expected.get(config), actual.get(config)
+        if exp == act:
+            continue
+        if exp is None or act is None:
+            lines.append(f"  {config}: {'missing from golden' if exp is None else 'missing from run'}")
+            continue
+        for key in sorted(set(exp) | set(act)):
+            if exp.get(key) != act.get(key):
+                lines.append(f"  {config}.{key}: golden={exp.get(key)!r} actual={act.get(key)!r}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("model_name", list_models())
+def test_golden_results(model_name: str, update_golden: bool) -> None:
+    actual = {config: compute_fingerprint(model_name, config) for config in CONFIGS}
+    path = GOLDEN_DIR / f"{model_name}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden fingerprint for {model_name!r}; regenerate with "
+        "`python -m pytest tests/test_golden_results.py --update-golden`"
+    )
+    expected = json.loads(path.read_text())
+    if actual != expected:
+        pytest.fail(
+            f"allocation results changed for {model_name!r} "
+            "(regenerate with --update-golden if intentional):\n"
+            + _diff(expected, actual)
+        )
+
+
+@pytest.mark.parametrize("model_name", list_models())
+def test_golden_sanity(model_name: str) -> None:
+    """Structural invariants of the fingerprints themselves.
+
+    LCMM must never lose to UMM (the paper's value proposition), every
+    healthy run lands at degradation level 0, and the UMM floor uses no
+    tensor buffers.
+    """
+    umm = compute_fingerprint(model_name, "umm")
+    assert umm["onchip_tensors"] == 0
+    umm_latency = float.fromhex(umm["latency_hex"])
+    for config in ("dnnk", "greedy", "splitting"):
+        fp = compute_fingerprint(model_name, config)
+        assert fp["degradation_level"] == 0
+        assert float.fromhex(fp["latency_hex"]) <= umm_latency
