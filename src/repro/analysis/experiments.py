@@ -147,12 +147,14 @@ def run_comparison(
     graph: ComputationGraph | None = None,
     strict: bool = False,
     fallback: bool = True,
+    cache=None,
 ) -> DesignComparison:
     """Evaluate one benchmark at one precision under UMM and LCMM.
 
-    ``strict`` and ``fallback`` are forwarded to
+    ``strict``, ``fallback`` and ``cache`` are forwarded to
     :func:`~repro.lcmm.framework.run_lcmm` (invariant checking after each
-    pass, and the degradation chain on pipeline failure).
+    pass, the degradation chain on pipeline failure, and the optional
+    content-addressed compilation cache).
     """
     graph = graph or get_model(model_name)
     accel_umm = reference_design(model_name, precision, "umm")
@@ -167,6 +169,7 @@ def run_comparison(
         model=lcmm_model,
         strict=strict,
         fallback=fallback,
+        cache=cache,
     )
     return DesignComparison(
         model_name=model_name,

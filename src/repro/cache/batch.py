@@ -1,0 +1,313 @@
+"""Batch compile front-end: the whole model zoo, sharded across workers.
+
+A production deployment compiles every (model, configuration) pair it
+serves ahead of time; this module is that front-end.  It enumerates the
+job matrix — by default the model zoo times the four standard
+configurations the golden-result suite pins (the UMM floor, plain DNNK,
+the greedy allocator, the full splitting pipeline) — shards the jobs
+over a process pool, and routes every compilation through a shared
+:class:`~repro.cache.store.CompilationCache` directory, so repeated runs
+(and concurrent workers racing on the same artifact) compile each unique
+input at most once.
+
+Each outcome carries the :func:`repro.fingerprint.fingerprint` of its
+result, which makes the report directly comparable against
+``tests/golden/*.json`` — ``lcmm batch-compile --verify-golden`` and the
+CI cache round-trip job do exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from pickle import PicklingError
+
+from repro.errors import ConfigError, ModelNotFoundError, ReproError
+from repro.fingerprint import compile_key, fingerprint
+from repro.lcmm.options import LCMMOptions
+from repro.models.zoo import get_model, list_models
+from repro.obs import spans as obs
+
+__all__ = [
+    "BatchReport",
+    "CompileOutcome",
+    "STANDARD_CONFIGS",
+    "batch_compile",
+    "standard_options",
+]
+
+#: Configuration label -> LCMM options (``None`` = the pass-free UMM
+#: floor).  Mirrors the golden-result suite's matrix.
+STANDARD_CONFIGS: dict[str, LCMMOptions | None] = {
+    "umm": None,
+    "dnnk": LCMMOptions(splitting=False),
+    "greedy": LCMMOptions(use_greedy=True, splitting=False),
+    "splitting": LCMMOptions(),
+}
+
+
+def standard_options(config: str) -> LCMMOptions | None:
+    """The options object for one standard configuration label.
+
+    Raises:
+        repro.errors.ConfigError: On an unknown label.
+    """
+    try:
+        return STANDARD_CONFIGS[config]
+    except KeyError:
+        raise ConfigError(
+            f"unknown batch configuration {config!r}; "
+            f"known: {', '.join(STANDARD_CONFIGS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class CompileOutcome:
+    """One (model, configuration) compilation in a batch.
+
+    Attributes:
+        model: Zoo model name.
+        config: Configuration label (``"umm"``, ``"splitting"``, ...).
+        latency: Predicted end-to-end latency of the compiled result.
+        cache_hit: Whether the artifact came from the cache.
+        seconds: Wall time this job took (lookup or compile).
+        fingerprint: The result's golden-format regression fingerprint.
+    """
+
+    model: str
+    config: str
+    latency: float
+    cache_hit: bool
+    seconds: float
+    fingerprint: dict
+
+
+@dataclass
+class BatchReport:
+    """Everything one :func:`batch_compile` call produced.
+
+    Attributes:
+        outcomes: Per-job outcomes in job order (model-major).
+        seconds: Wall time of the whole batch.
+        workers: Process count actually used (1 = in-process).
+        pool_unavailable: The requested pool could not be created and
+            the batch fell back to in-process compilation.
+    """
+
+    outcomes: list[CompileOutcome]
+    seconds: float
+    workers: int
+    pool_unavailable: bool = False
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def misses(self) -> int:
+        return len(self.outcomes) - self.hits
+
+    @property
+    def all_hits(self) -> bool:
+        return bool(self.outcomes) and self.misses == 0
+
+    def verify_golden(self, golden_dir: str | Path) -> list[str]:
+        """Compare every outcome against ``tests/golden``-style files.
+
+        Returns a list of human-readable mismatch descriptions (empty =
+        everything matches).  Models without a golden file are reported
+        as mismatches — a silently skipped comparison is how stale
+        caches survive review.
+        """
+        golden_dir = Path(golden_dir)
+        problems: list[str] = []
+        for outcome in self.outcomes:
+            path = golden_dir / f"{outcome.model}.json"
+            if not path.exists():
+                problems.append(f"{outcome.model}: no golden file {path}")
+                continue
+            expected = json.loads(path.read_text()).get(outcome.config)
+            if expected is None:
+                problems.append(
+                    f"{outcome.model}.{outcome.config}: not in golden file"
+                )
+            elif expected != outcome.fingerprint:
+                diffs = [
+                    f"{key}: golden={expected.get(key)!r} "
+                    f"actual={outcome.fingerprint.get(key)!r}"
+                    for key in sorted(set(expected) | set(outcome.fingerprint))
+                    if expected.get(key) != outcome.fingerprint.get(key)
+                ]
+                problems.append(
+                    f"{outcome.model}.{outcome.config}: " + "; ".join(diffs)
+                )
+        return problems
+
+
+#: Per-process memo of built (graph, design) pairs by (model, precision).
+#: Zoo builds are deterministic and ``run_lcmm`` treats its inputs as
+#: read-only, so one instance can serve every job in a batch.
+_DESIGN_MEMO: dict[tuple[str, str], tuple] = {}
+
+#: Per-process memo of content keys by (model, config, precision).  The
+#: key is content-derived on first use; memoising the derivation lets a
+#: warm batch answer hits without rebuilding the model graph at all.
+_KEY_MEMO: dict[tuple[str, str, str], str] = {}
+
+
+def _design(model_name: str, precision_name: str) -> tuple:
+    memo = (model_name, precision_name)
+    pair = _DESIGN_MEMO.get(memo)
+    if pair is None:
+        from repro.analysis.experiments import BENCHMARKS, reference_design
+        from repro.hw.precision import precision_by_name
+
+        graph = get_model(model_name)
+        design_key = model_name if model_name in BENCHMARKS else "resnet152"
+        accel = reference_design(
+            design_key, precision_by_name(precision_name), "lcmm"
+        )
+        pair = (graph, accel)
+        _DESIGN_MEMO[memo] = pair
+    return pair
+
+
+def _job_key(model_name: str, config: str, precision_name: str) -> str:
+    memo = (model_name, config, precision_name)
+    key = _KEY_MEMO.get(memo)
+    if key is None:
+        graph, accel = _design(model_name, precision_name)
+        options = standard_options(config)
+        # Matches the key run_lcmm(cache=...) derives for a default
+        # (non-strict) run, so batch artifacts and `lcmm run --cache`
+        # artifacts are interchangeable.
+        extra = None if options is None else {"strict": False}
+        key = compile_key(graph, accel, options, extra=extra)
+        _KEY_MEMO[memo] = key
+    return key
+
+
+def _compile_job(
+    model_name: str,
+    config: str,
+    precision_name: str,
+    cache_dir: str | None,
+) -> CompileOutcome:
+    """Compile one (model, configuration) pair — process-pool safe.
+
+    Top level so pools can pickle it; opens its own handle on the shared
+    cache directory.  The lookup happens here rather than inside
+    ``run_lcmm`` so a hit skips graph construction entirely (the content
+    key derivation is memoised per process).
+    """
+    from repro.cache.store import CompilationCache
+    from repro.lcmm.framework import run_lcmm, umm_only_result
+
+    cache = CompilationCache(cache_dir) if cache_dir is not None else None
+    start = time.perf_counter()
+    key = _job_key(model_name, config, precision_name)
+    result = cache.get(key) if cache is not None else None
+    hit = result is not None
+    if result is None:
+        graph, accel = _design(model_name, precision_name)
+        options = standard_options(config)
+        if options is None:
+            # The UMM floor bypasses the pass machinery entirely.
+            result = umm_only_result(graph, accel)
+            if cache is not None:
+                cache.put(key, result)
+        else:
+            result = run_lcmm(graph, accel, options=options)
+            # Mirror the framework's rule: only clean (non-degraded)
+            # results are cached.
+            if cache is not None and result.degradation_level == 0:
+                cache.put(key, result)
+    return CompileOutcome(
+        model=model_name,
+        config=config,
+        latency=result.latency,
+        cache_hit=hit,
+        seconds=time.perf_counter() - start,
+        fingerprint=fingerprint(result),
+    )
+
+
+def batch_compile(
+    models: list[str] | None = None,
+    configs: list[str] | None = None,
+    precision: str = "int8",
+    cache_dir: str | Path | None = None,
+    workers: int = 1,
+) -> BatchReport:
+    """Compile a model/configuration matrix with cache reuse.
+
+    Args:
+        models: Zoo model names (default: the whole zoo).
+        configs: Configuration labels from :data:`STANDARD_CONFIGS`
+            (default: all four).
+        precision: Arithmetic precision name.
+        cache_dir: Shared cache directory; ``None`` disables caching
+            (every job compiles).
+        workers: Process count.  ``1`` compiles in-process; higher
+            values shard jobs over a pool, clamped to the job count.  A
+            pool that cannot be created falls back to in-process
+            compilation (reported via ``pool_unavailable``), exactly
+            like the DSE sweep.
+
+    Raises:
+        repro.errors.ConfigError: On unknown configuration labels or
+            ``workers < 1``.
+        repro.errors.ModelNotFoundError: On unknown model names.
+    """
+    if workers < 1:
+        raise ConfigError("workers must be at least 1", details={"workers": workers})
+    models = list(models) if models else list_models()
+    configs = list(configs) if configs else list(STANDARD_CONFIGS)
+    for config in configs:
+        standard_options(config)  # validate labels before spawning anything
+    known = set(list_models())
+    for model in models:
+        if model not in known:
+            raise ModelNotFoundError(
+                f"unknown model {model!r}; known: {', '.join(sorted(known))}"
+            )
+    jobs = [(model, config) for model in models for config in configs]
+    cache_str = str(cache_dir) if cache_dir is not None else None
+    workers = min(workers, len(jobs)) if jobs else 1
+    start = time.perf_counter()
+    pool_unavailable = False
+    outcomes: list[CompileOutcome] | None = None
+    with obs.span(
+        "cache.batch-compile", jobs=len(jobs), workers=workers
+    ) as batch_span:
+        if workers > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(_compile_job, model, config, precision, cache_str)
+                        for model, config in jobs
+                    ]
+                    outcomes = [future.result() for future in futures]
+            except ReproError:
+                raise
+            except (OSError, RuntimeError, PicklingError):
+                pool_unavailable = True
+                outcomes = None
+        if outcomes is None:
+            outcomes = [
+                _compile_job(model, config, precision, cache_str)
+                for model, config in jobs
+            ]
+        report = BatchReport(
+            outcomes=outcomes,
+            seconds=time.perf_counter() - start,
+            workers=workers,
+            pool_unavailable=pool_unavailable,
+        )
+        batch_span.annotate(
+            "batch-complete", hits=report.hits, misses=report.misses
+        )
+    return report

@@ -1,0 +1,226 @@
+"""Persistent, content-addressed compilation cache.
+
+The store maps a content key (:func:`repro.fingerprint.compile_key` /
+:func:`~repro.fingerprint.sweep_key` — SHA-256 over the canonical
+compilation inputs plus the schema version) to a pickled artifact on
+disk, with a bounded in-memory LRU in front.  Because keys are content
+hashes, there is no invalidation protocol: changed inputs or a bumped
+:data:`~repro.fingerprint.CACHE_SCHEMA_VERSION` simply hash to keys that
+were never written.
+
+Design points:
+
+* **Values round-trip through pickle on every read**, including
+  memory-LRU hits: the LRU holds the pickled *bytes*, so every ``get``
+  returns an independent object and a caller mutating its result (the
+  framework stamps ``degradation_level`` on it) can never corrupt the
+  cached copy.
+* **Writes are atomic** (temp file + ``os.replace`` in the same
+  directory), so concurrent batch-compile workers sharing one cache
+  directory never observe torn artifacts; last-writer-wins races are
+  harmless because identical keys hold identical content.
+* **Corrupt or unreadable entries are misses**: a failed unpickle
+  deletes the file and returns ``None`` rather than raising into the
+  compile path.
+* **Observability**: every lookup updates the store's own
+  :class:`CacheStats`, and — while a tracer is active, matching the
+  run-granularity convention of :mod:`repro.obs` — mirrors
+  ``cache.hit`` / ``cache.miss`` / ``cache.evict`` counters (labeled by
+  namespace) into the process metrics registry and annotates hits on
+  the innermost open span.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.obs import spans as obs
+
+__all__ = ["CacheStats", "CompilationCache"]
+
+#: Namespace for whole-compilation artifacts (pickled ``LCMMResult``).
+RESULT_NAMESPACE = "result"
+#: Namespace for DSE warm-start score maps (``{tile_key: latency}``).
+SWEEP_NAMESPACE = "sweep"
+
+
+@dataclass
+class CacheStats:
+    """Lookup outcomes of one :class:`CompilationCache` instance.
+
+    Attributes:
+        hits: Lookups answered (from memory or disk).
+        misses: Lookups that found nothing usable.
+        stores: Artifacts written.
+        evictions: Memory-LRU entries dropped for capacity (the disk
+            copy survives; a later lookup re-reads it).
+        memory_hits: Subset of ``hits`` served without touching disk.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    memory_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "memory_hits": self.memory_hits,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CompilationCache:
+    """Disk-backed content-addressed artifact store with a memory LRU.
+
+    Args:
+        root: Cache directory (created on first write).  ``None`` keeps
+            the cache purely in memory — same semantics, nothing
+            persisted, useful for tests and single-process warm-starts.
+        memory_entries: Bound on the in-memory LRU (0 disables it; every
+            hit then re-reads disk).
+
+    Raises:
+        repro.errors.ConfigError: On a negative ``memory_entries``.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        memory_entries: int = 256,
+    ) -> None:
+        if memory_entries < 0:
+            raise ConfigError(
+                "memory_entries must be non-negative",
+                details={"memory_entries": memory_entries},
+            )
+        self.root = Path(root) if root is not None else None
+        self.memory_entries = memory_entries
+        self.stats = CacheStats()
+        self._lru: OrderedDict[tuple[str, str], bytes] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _path(self, key: str, namespace: str) -> Path:
+        assert self.root is not None
+        # Two-level fan-out keeps directories small on big zoos.
+        return self.root / namespace / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str, namespace: str = RESULT_NAMESPACE) -> Any | None:
+        """The artifact stored under ``key``, or ``None``.
+
+        Every hit unpickles fresh bytes (memory or disk), so callers own
+        their copy outright.
+        """
+        payload = self._lru.get((namespace, key))
+        from_memory = payload is not None
+        if payload is None and self.root is not None:
+            path = self._path(key, namespace)
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                payload = None
+        if payload is not None:
+            try:
+                value = pickle.loads(payload)
+            except Exception:
+                # A torn or schema-incompatible artifact is a miss; drop
+                # it so the slot heals on the next store.
+                self._lru.pop((namespace, key), None)
+                if self.root is not None:
+                    try:
+                        self._path(key, namespace).unlink()
+                    except OSError:
+                        pass
+            else:
+                self._remember(namespace, key, payload)
+                self.stats.hits += 1
+                if from_memory:
+                    self.stats.memory_hits += 1
+                self._record("cache.hit", namespace)
+                obs.annotate("cache-hit", namespace=namespace, key=key[:12])
+                return value
+        self.stats.misses += 1
+        self._record("cache.miss", namespace)
+        return None
+
+    def put(self, key: str, value: Any, namespace: str = RESULT_NAMESPACE) -> None:
+        """Store ``value`` under ``key`` (atomic on disk, LRU-admitted)."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.root is not None:
+            path = self._path(key, namespace)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self._remember(namespace, key, payload)
+        self.stats.stores += 1
+
+    def contains(self, key: str, namespace: str = RESULT_NAMESPACE) -> bool:
+        """Whether a lookup would hit, without counting it as one."""
+        if (namespace, key) in self._lru:
+            return True
+        return self.root is not None and self._path(key, namespace).exists()
+
+    # ------------------------------------------------------------------
+    # Memory LRU
+    # ------------------------------------------------------------------
+    def _remember(self, namespace: str, key: str, payload: bytes) -> None:
+        if self.memory_entries == 0:
+            return
+        lru = self._lru
+        lru[(namespace, key)] = payload
+        lru.move_to_end((namespace, key))
+        while len(lru) > self.memory_entries:
+            lru.popitem(last=False)
+            self.stats.evictions += 1
+            self._record("cache.evict", namespace)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(counter: str, namespace: str) -> None:
+        if not obs.enabled():
+            return
+        from repro.obs.metrics import registry
+
+        registry().counter(counter).inc(namespace=namespace)
+
+    def __repr__(self) -> str:  # pragma: no cover — debug aid
+        where = str(self.root) if self.root is not None else "<memory>"
+        return (
+            f"CompilationCache({where!r}, entries={len(self._lru)}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

@@ -18,6 +18,8 @@ Installed as the ``lcmm`` console script::
     lcmm batch resnet152 --images 16       # steady-state throughput
     lcmm run googlenet --trace trace.json  # Chrome trace of the compilation
     lcmm stats googlenet     # span/metric profile of one compilation
+    lcmm run googlenet --cache .lcmm-cache # content-addressed result cache
+    lcmm batch-compile --cache .lcmm-cache --workers 4   # precompile the zoo
 """
 
 from __future__ import annotations
@@ -195,16 +197,27 @@ def _traced(trace_path, body) -> None:
     print(f"\nWrote Chrome trace ({count} spans) to {trace_path}")
 
 
+def _open_cache(path):
+    """Build a :class:`CompilationCache` for ``--cache PATH`` (None if unset)."""
+    if not path:
+        return None
+    from repro.cache import CompilationCache
+
+    return CompilationCache(path)
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     _traced(args.trace, lambda: _run_body(args))
 
 
 def _run_body(args: argparse.Namespace) -> None:
+    cache = _open_cache(args.cache)
     cmp = run_comparison(
         args.model,
         precision_by_name(args.precision),
         strict=args.strict,
         fallback=not args.no_fallback,
+        cache=cache,
     )
     print(f"Model:      {cmp.model_name} ({args.precision})")
     print(f"UMM:        {cmp.umm.latency * 1e3:.3f} ms  ({cmp.umm.tops:.3f} Tops)")
@@ -216,6 +229,9 @@ def _run_body(args: argparse.Namespace) -> None:
           f"(URAM {cmp.lcmm.sram_usage.uram_utilization:.0%}, "
           f"BRAM {cmp.lcmm.sram_usage.bram_utilization:.0%})")
     print(f"POL:  {cmp.lcmm.percentage_onchip_layers(cmp.lcmm_model):.0%}")
+    if cache is not None:
+        print(f"Cache: {cache.stats.hits} hits, {cache.stats.misses} misses "
+              f"({args.cache})")
     if args.explain:
         result = cmp.lcmm
         print(f"\nPipeline: {result.pipeline_description}")
@@ -276,6 +292,10 @@ def _cmd_passes(args: argparse.Namespace) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
+    _traced(args.trace, lambda: _sweep_body(args))
+
+
+def _sweep_body(args: argparse.Namespace) -> None:
     from repro.lcmm.framework import LCMMOptions, run_lcmm
     from repro.perf.latency import LatencyModel
 
@@ -358,6 +378,10 @@ def _cmd_doublebuffer(args: argparse.Namespace) -> None:
 
 
 def _cmd_batch(args: argparse.Namespace) -> None:
+    _traced(args.trace, lambda: _batch_body(args))
+
+
+def _batch_body(args: argparse.Namespace) -> None:
     from repro.lcmm.framework import run_lcmm
     from repro.perf.batching import batched_latency, umm_batched_latency
     from repro.perf.latency import LatencyModel
@@ -376,6 +400,59 @@ def _cmd_batch(args: argparse.Namespace) -> None:
     print(f"  UMM  per image:    {umm.steady_image_latency * 1e3:8.3f} ms")
     print(f"  Steady-state speedup: "
           f"{umm.steady_image_latency / batch.steady_image_latency:.2f}x")
+
+
+def _cmd_batch_compile(args: argparse.Namespace) -> None:
+    _traced(args.trace, lambda: _batch_compile_body(args))
+
+
+def _batch_compile_body(args: argparse.Namespace) -> None:
+    from repro.cache import batch_compile
+
+    configs = args.configs.split(",") if args.configs else None
+    report = batch_compile(
+        models=args.models or None,
+        configs=configs,
+        precision=args.precision,
+        cache_dir=args.cache,
+        workers=args.workers,
+    )
+    print(
+        format_table(
+            ("Model", "Config", "Latency(ms)", "Cache", "Seconds"),
+            [
+                (
+                    o.model,
+                    o.config,
+                    f"{o.latency * 1e3:.3f}",
+                    "hit" if o.cache_hit else "miss",
+                    f"{o.seconds:.3f}",
+                )
+                for o in report.outcomes
+            ],
+        )
+    )
+    print(
+        f"\n{len(report.outcomes)} jobs in {report.seconds:.2f}s "
+        f"(workers={report.workers}): "
+        f"{report.hits} cache hits, {report.misses} misses"
+        + (", pool unavailable (ran serially)" if report.pool_unavailable else "")
+    )
+    if args.verify_golden:
+        problems = report.verify_golden(args.verify_golden)
+        if problems:
+            for problem in problems:
+                print(f"  golden mismatch: {problem}", file=sys.stderr)
+            raise ReproError(
+                f"{len(problems)} cached result(s) disagree with the golden "
+                f"fingerprints in {args.verify_golden}"
+            )
+        print(f"All results match the golden fingerprints in {args.verify_golden}")
+    if args.require_all_hits and not report.all_hits:
+        raise ReproError(
+            f"--require-all-hits: {report.misses} of {len(report.outcomes)} "
+            "jobs missed the cache"
+        )
 
 
 def _cmd_dot(args: argparse.Namespace) -> None:
@@ -420,7 +497,10 @@ def _dse_body(args: argparse.Namespace) -> None:
     )
     budget = int(args.budget * 2**20)
     stats = WorkerStats()
-    points = explore_designs(graph, base, budget, workers=args.workers, stats=stats)
+    cache = _open_cache(args.cache)
+    points = explore_designs(
+        graph, base, budget, workers=args.workers, stats=stats, cache=cache
+    )
     print(
         f"Tile DSE on {graph.name} ({args.precision}), "
         f"{args.budget:.1f} MB tile-buffer budget, "
@@ -443,6 +523,10 @@ def _dse_body(args: argparse.Namespace) -> None:
 
 
 def _cmd_cotune(args: argparse.Namespace) -> None:
+    _traced(args.trace, lambda: _cotune_body(args))
+
+
+def _cotune_body(args: argparse.Namespace) -> None:
     from repro.lcmm.cotuning import cotune
 
     graph = get_model(args.model)
@@ -543,6 +627,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record a Chrome trace (chrome://tracing) of the run to PATH",
     )
+    prun.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="reuse/populate a content-addressed compilation cache under DIR",
+    )
     prun.set_defaults(func=_cmd_run)
 
     sub.add_parser(
@@ -552,6 +642,12 @@ def build_parser() -> argparse.ArgumentParser:
     psweep = sub.add_parser("sweep", help="speedup vs on-chip memory budget")
     psweep.add_argument("model", choices=list(BENCHMARKS))
     psweep.add_argument("--precision", default="int16")
+    psweep.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a Chrome trace of the sweep to PATH",
+    )
     psweep.set_defaults(func=_cmd_sweep)
 
     psim = sub.add_parser("simulate", help="event-driven timeline (Gantt)")
@@ -576,7 +672,57 @@ def build_parser() -> argparse.ArgumentParser:
     pbatch.add_argument("model", choices=list(BENCHMARKS))
     pbatch.add_argument("--precision", default="int8")
     pbatch.add_argument("--images", type=int, default=16)
+    pbatch.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a Chrome trace of the batch analysis to PATH",
+    )
     pbatch.set_defaults(func=_cmd_batch)
+
+    pbc = sub.add_parser(
+        "batch-compile",
+        help="compile a model/config matrix through the compilation cache",
+    )
+    pbc.add_argument(
+        "models",
+        nargs="*",
+        help="models to compile (default: the full zoo)",
+    )
+    pbc.add_argument(
+        "--configs",
+        default=None,
+        help="comma-separated config labels (default: umm,dnnk,greedy,splitting)",
+    )
+    pbc.add_argument("--precision", default="int8")
+    pbc.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent cache directory (omit for a cold in-memory run)",
+    )
+    pbc.add_argument(
+        "--workers", type=int, default=1, help="process count for the compile matrix"
+    )
+    pbc.add_argument(
+        "--verify-golden",
+        metavar="PATH",
+        default=None,
+        help="check results against the golden fingerprints in PATH; "
+        "exit non-zero on any mismatch",
+    )
+    pbc.add_argument(
+        "--require-all-hits",
+        action="store_true",
+        help="exit non-zero unless every job was served from the cache",
+    )
+    pbc.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a Chrome trace of the batch compile to PATH",
+    )
+    pbc.set_defaults(func=_cmd_batch_compile)
 
     preport = sub.add_parser("report", help="regenerate the full markdown report")
     preport.add_argument("-o", "--output", default="experiment_report.md")
@@ -598,6 +744,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record a Chrome trace of the sweep (worker spans merged in)",
     )
+    pdse.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="warm-start the sweep from cached (graph, tile) scores under DIR",
+    )
     pdse.set_defaults(func=_cmd_dse)
 
     pstats = sub.add_parser(
@@ -616,6 +768,12 @@ def build_parser() -> argparse.ArgumentParser:
     pcotune = sub.add_parser("cotune", help="tile/allocation co-tuning sweep")
     pcotune.add_argument("model", choices=list(BENCHMARKS))
     pcotune.add_argument("--precision", default="int16")
+    pcotune.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a Chrome trace of the co-tuning sweep to PATH",
+    )
     pcotune.set_defaults(func=_cmd_cotune)
 
     pdot = sub.add_parser("dot", help="export graphviz views of the analysis")

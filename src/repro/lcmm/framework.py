@@ -31,9 +31,10 @@ per-pass diagnostics and the executed pipeline description that
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import PassError, PipelineError, ReproError
+from repro.fingerprint import compile_key
 from repro.hw.sram import BRAM36_BYTES, SRAMUsage, blocks_for
 from repro.obs.metrics import registry as obs_registry
 from repro.obs.spans import annotate as obs_annotate
@@ -58,6 +59,9 @@ from repro.lcmm.prefetch import PrefetchResult
 from repro.perf.engine import EngineStats
 from repro.perf.latency import LatencyModel
 from repro.perf.systolic import AcceleratorConfig
+
+if TYPE_CHECKING:
+    from repro.cache.store import CompilationCache
 
 __all__ = ["LCMMOptions", "LCMMResult", "run_lcmm", "umm_only_result"]
 
@@ -263,6 +267,7 @@ def run_lcmm(
     pipeline: Sequence[Pass] | None = None,
     strict: bool = False,
     fallback: bool = True,
+    cache: "CompilationCache | None" = None,
 ) -> LCMMResult:
     """Run the full LCMM pipeline on a model and design point.
 
@@ -282,6 +287,15 @@ def run_lcmm(
             greedy -> UMM-only* instead of raising; the landed level is
             recorded in :attr:`LCMMResult.degradation_level`.  With
             ``False``, the first failure propagates.
+        cache: Optional :class:`~repro.cache.store.CompilationCache`.
+            When given, the compilation is short-circuited by a
+            content-addressed lookup (key: canonical graph + every
+            design-point field + options + cache schema version) and
+            healthy results are stored back.  Off by default; custom
+            ``pipeline`` objects cannot be fingerprinted, so they bypass
+            the cache, and only ``degradation_level == 0`` results are
+            ever stored — a degraded artifact must not mask a fixed
+            fault on the next run.
 
     Raises:
         repro.errors.ReproError: With ``fallback=False``, whatever the
@@ -290,6 +304,21 @@ def run_lcmm(
             fit the device at all).
     """
     options = options or LCMMOptions()
+    cache_key: str | None = None
+    if cache is not None and pipeline is None:
+        cache_key = compile_key(graph, accel, options, extra={"strict": strict})
+        cached = cache.get(cache_key)
+        if cached is not None:
+            with obs_span("lcmm.run", graph=graph.name, cached=True) as run_span:
+                run_span.annotate(
+                    "lcmm.result",
+                    landed=cached.pipeline_description or "umm-only",
+                    degradation_level=cached.degradation_level,
+                    cached=True,
+                )
+                if obs_enabled():
+                    _publish_run_metrics(cached, graph.name)
+                return cached
     recovery = _DEFAULT_RECOVERY if fallback else None
     attempts = _degradation_chain(options, pipeline)
     failed: list[str] = []
@@ -346,6 +375,8 @@ def run_lcmm(
             result.degradation_path = tuple(failed)
             if carried:
                 result.diagnostics = tuple(carried) + result.diagnostics
+            if cache_key is not None and result.degradation_level == 0:
+                cache.put(cache_key, result)
             run_span.annotate(
                 "lcmm.result",
                 landed=result.pipeline_description or "umm-only",

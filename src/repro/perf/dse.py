@@ -22,8 +22,11 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pickle import PicklingError
+from typing import TYPE_CHECKING
 
-from repro.errors import CapacityError, ConfigError
+from repro.errors import CapacityError, ConfigError, ReproError
+from repro.fingerprint import sweep_key, tile_key
 from repro.obs import spans as obs
 from repro.robustness import inject
 from repro.robustness.inject import declare_fault_point, fault_point
@@ -33,6 +36,9 @@ from repro.ir.tensor import TensorKind
 from repro.perf.latency import LatencyModel
 from repro.perf.systolic import AcceleratorConfig, SystolicArray
 from repro.perf.tiling import TileConfig
+
+if TYPE_CHECKING:
+    from repro.cache.store import CompilationCache
 
 #: Candidate tile extents; powers of two for channels (all benchmark models
 #: use channel counts divisible by 32) and the common feature-map extents
@@ -313,13 +319,20 @@ def _score_parallel(
     scored in worker processes and reassembled by index, so the result
     lines up with ``tiles`` regardless of which worker finished first.
 
-    Hardened against worker failure: a chunk that raises is resubmitted
-    up to ``chunk_retries`` times; a chunk that misses ``chunk_timeout``
-    or exhausts its retries — and every chunk lost when the pool itself
-    breaks (``BrokenProcessPool``) — is re-executed *serially in the
-    parent*, so the sweep always terminates with exact results.  The
+    Hardened against worker failure: a chunk that raises *or misses
+    ``chunk_timeout``* is resubmitted up to ``chunk_retries`` times; a
+    chunk that exhausts its retries — and every chunk lost when the pool
+    itself breaks (``BrokenProcessPool``) — is re-executed *serially in
+    the parent*, so the sweep always terminates with exact results.  The
     serial path recomputes with a fresh scorer rather than trusting
     anything a dying worker may have sent.
+
+    A timed-out chunk whose future is already running cannot be
+    cancelled (``Future.cancel()`` is a no-op at that point), which
+    strands the hung worker on its pool slot; any round that observes
+    this tears the whole pool down (``shutdown(cancel_futures=True)``)
+    and retries run in a freshly created pool, so no slot stays occupied
+    by a dead deadline.
     """
     stats = stats if stats is not None else WorkerStats()
     chunk = max(1, math.ceil(len(tiles) / (workers * 4)))
@@ -327,18 +340,25 @@ def _score_parallel(
     stats.chunks = len(chunks)
     tracer = obs.tracer()
     results: list[list[float] | None] = [None] * len(chunks)
-    pool = ProcessPoolExecutor(
-        max_workers=min(workers, len(chunks)),
-        initializer=_dse_init,
-        initargs=(graph, base, inject.active_plans(), tracer is not None),
-    )
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            initializer=_dse_init,
+            initargs=(graph, base, inject.active_plans(), tracer is not None),
+        )
+
+    pool: ProcessPoolExecutor | None = make_pool()
     try:
         pending = list(range(len(chunks)))
         attempts = [0] * len(chunks)
         while pending:
+            if pool is None:
+                pool = make_pool()
             futures = [(pool.submit(_score_chunk, chunks[i], i), i) for i in pending]
             retry: list[int] = []
             broken = False
+            stranded = False
             for future, i in futures:
                 try:
                     # Chunks run concurrently, so waiting on them in
@@ -350,7 +370,15 @@ def _score_parallel(
                         tracer.merge(worker_spans)
                 except FutureTimeout:
                     stats.timeouts += 1
-                    future.cancel()
+                    # A still-queued future cancels cleanly; a running
+                    # one does not, and its hung worker keeps the pool
+                    # slot — mark the pool for replacement.
+                    if not future.cancel():
+                        stranded = True
+                    attempts[i] += 1
+                    if attempts[i] <= chunk_retries:
+                        stats.retries += 1
+                        retry.append(i)
                 except BrokenProcessPool:
                     broken = True
                 except Exception:
@@ -362,9 +390,13 @@ def _score_parallel(
             if broken:
                 stats.pool_broken = True
                 break
+            if stranded:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
             pending = retry
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
     lost = [i for i in range(len(chunks)) if results[i] is None]
     if lost:
         stats.serial_chunks = len(lost)
@@ -384,6 +416,7 @@ def explore_designs(
     chunk_timeout: float | None = None,
     chunk_retries: int = 1,
     stats: WorkerStats | None = None,
+    cache: "CompilationCache | None" = None,
 ) -> list[DesignPoint]:
     """Score every feasible tile configuration on a model.
 
@@ -404,11 +437,17 @@ def explore_designs(
             environment without working process spawning) is recovered by
             re-scoring the missing chunks serially.
         chunk_timeout: Optional per-chunk deadline in seconds for the
-            parallel sweep; an overdue chunk is re-scored serially.
+            parallel sweep; a timed-out chunk is retried in a fresh pool
+            and, past its retry budget, re-scored serially.
         chunk_retries: Re-submissions allowed per failing chunk before it
             falls back to serial re-scoring.
         stats: Optional :class:`WorkerStats` filled in with what the
             parallel sweep had to recover from.
+        cache: Optional :class:`~repro.cache.store.CompilationCache`.
+            Warm-starts the sweep from previously cached per-tile scores
+            of the same (graph, base-sans-tile) pair — only unseen tiles
+            are scored (serially or in the pool), and their scores are
+            written back for the next sweep.  Off by default.
 
     Returns:
         Feasible design points sorted by ascending UMM latency.
@@ -417,6 +456,10 @@ def explore_designs(
         repro.errors.CapacityError: On a non-positive budget, or when no
             candidate tile fits it.
         repro.errors.ConfigError: On ``workers < 1``.
+        repro.errors.ReproError: Any taxonomy error raised while setting
+            up the parallel sweep (an invalid graph or configuration)
+            propagates — only *environmental* pool failures fall back to
+            the serial path.
     """
     if tile_buffer_budget <= 0:
         raise CapacityError(
@@ -442,28 +485,56 @@ def explore_designs(
     with obs.span(
         "dse.explore", graph=graph.name, tiles=len(tile_list), workers=workers
     ):
-        latencies: list[float] | None = None
-        if workers > 1:
-            try:
-                latencies = _score_parallel(
-                    graph,
-                    base,
-                    tile_list,
-                    workers,
-                    chunk_timeout=chunk_timeout,
-                    chunk_retries=chunk_retries,
-                    stats=stats,
-                )
-            except Exception:
-                # Pool could not even be created (sandboxed interpreter, no
-                # fork/spawn support...); the serial path below is exact.
-                if stats is not None:
-                    stats.pool_unavailable = True
-                latencies = None
-        if latencies is None:
-            with obs.span("dse.serial-sweep", tiles=len(tile_list)):
-                scorer = _SweepScorer(graph, base)
-                latencies = [scorer.score(tile) for tile in tile_list]
+        warm: dict[str, float] = {}
+        warm_key: str | None = None
+        if cache is not None:
+            warm_key = sweep_key(graph, base)
+            warm = cache.get(warm_key, namespace="sweep") or {}
+        pending = [tile for tile in tile_list if tile_key(tile) not in warm]
+        if warm_key is not None:
+            obs.annotate(
+                "dse.warm-start",
+                known=len(tile_list) - len(pending),
+                scored=len(pending),
+            )
+        scored: list[float] | None = None
+        if pending:
+            if min(workers, len(pending)) > 1:
+                try:
+                    scored = _score_parallel(
+                        graph,
+                        base,
+                        pending,
+                        min(workers, len(pending)),
+                        chunk_timeout=chunk_timeout,
+                        chunk_retries=chunk_retries,
+                        stats=stats,
+                    )
+                except ReproError:
+                    # A genuinely invalid graph/config surfaced during
+                    # pool setup is a caller error — relabeling it as an
+                    # environmental failure would bury it in a silent
+                    # serial fallback.
+                    raise
+                except (OSError, RuntimeError, PicklingError):
+                    # Pool could not even be created (sandboxed
+                    # interpreter, no fork/spawn support, unpicklable
+                    # initargs...); the serial path below is exact.
+                    if stats is not None:
+                        stats.pool_unavailable = True
+                    scored = None
+            if scored is None:
+                with obs.span("dse.serial-sweep", tiles=len(pending)):
+                    scorer = _SweepScorer(graph, base)
+                    scored = [scorer.score(tile) for tile in pending]
+        else:
+            scored = []
+        fresh = {tile_key(tile): s for tile, s in zip(pending, scored)}
+        if warm_key is not None and fresh:
+            warm.update(fresh)
+            cache.put(warm_key, warm, namespace="sweep")
+        lookup = warm if warm_key is not None else fresh
+        latencies = [lookup[tile_key(tile)] for tile in tile_list]
         if obs.enabled() and stats is not None:
             _publish_sweep_metrics(stats, graph.name)
     points = [

@@ -15,19 +15,23 @@ diff instead of silently shifting the reproduced tables.  Intentional
 result changes regenerate the files with::
 
     python -m pytest tests/test_golden_results.py --update-golden
+
+The fingerprint function itself lives in :mod:`repro.fingerprint` — it
+doubles as the compilation cache's notion of "the result", so the cache
+round-trip benchmark and CI job compare against these same files.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.experiments import BENCHMARKS, reference_design
+from repro.fingerprint import fingerprint
 from repro.hw.precision import INT8
-from repro.lcmm.framework import LCMMOptions, LCMMResult, run_lcmm, umm_only_result
+from repro.lcmm.framework import LCMMOptions, run_lcmm, umm_only_result
 from repro.models.zoo import get_model, list_models
 from repro.perf.latency import LatencyModel
 
@@ -52,45 +56,6 @@ def _setup(model_name: str):
         accel = reference_design(design_key, INT8, "lcmm")
         _SETUP_CACHE[model_name] = (graph, accel, LatencyModel(graph, accel))
     return _SETUP_CACHE[model_name]
-
-
-def fingerprint(result: LCMMResult) -> dict:
-    """Reduce one result to its checked-in regression fingerprint.
-
-    The allocation hash covers everything that defines the memory
-    management decision; the remaining fields are the headline numbers a
-    reviewer wants to see directly in a diff.
-    """
-    allocation = {
-        "onchip": sorted(result.onchip_tensors),
-        "buffers": [
-            [
-                buf.name,
-                sorted(buf.tensor_names),
-                buf.size_bytes,
-                buf.uram_blocks,
-                buf.bram36_blocks,
-            ]
-            for buf in result.physical_buffers
-        ],
-        "residuals": sorted(
-            (name, float(value).hex()) for name, value in result.residuals.items()
-        ),
-        "fractions": sorted(
-            (name, float(value).hex()) for name, value in result.fractions.items()
-        ),
-    }
-    digest = hashlib.sha256(
-        json.dumps(allocation, sort_keys=True).encode()
-    ).hexdigest()
-    return {
-        "allocation_sha256": digest,
-        "latency_hex": float(result.latency).hex(),
-        "latency_ms": round(result.latency * 1e3, 6),
-        "used_bytes": result.sram_usage.used_bytes,
-        "onchip_tensors": len(result.onchip_tensors),
-        "degradation_level": result.degradation_level,
-    }
 
 
 def compute_fingerprint(model_name: str, config: str) -> dict:

@@ -215,3 +215,72 @@ class TestWorkerRecovery:
         key = lambda points: [(p.accel.tile, p.umm_latency) for p in points]
         assert key(chaotic) == key(clean)
         assert stats.recovered()
+
+    def test_timeout_retried_and_pool_slot_released(self):
+        # Regression: a timed-out chunk's future cannot be cancelled once
+        # running, so the hung worker used to keep its pool slot forever
+        # and the timeout never entered retry accounting.  Now the chunk
+        # is resubmitted (in a fresh pool once a slot is stranded) and,
+        # past its retry budget, re-scored serially — with the parent
+        # never blocked behind the hung worker.
+        import time
+
+        graph, base, tiles, expected = self._setup()
+        stats = WorkerStats()
+        plan = FaultPlan("dse.chunk", mode="hang", hang_seconds=30.0)
+        start = time.monotonic()
+        with injected(plan):
+            got = _score_parallel(
+                graph, base, tiles, 2,
+                chunk_timeout=0.2, chunk_retries=1, stats=stats,
+            )
+        elapsed = time.monotonic() - start
+        assert got == expected
+        assert stats.timeouts >= 1
+        assert stats.retries >= 1  # timeouts now count against the retry budget
+        assert stats.serial_chunks >= 1  # persistent hang ends in serial re-score
+        # No pool slot stayed occupied: had shutdown waited on the hung
+        # 30 s workers, the sweep could not finish this fast.
+        assert elapsed < 15.0
+
+
+class TestErrorRouting:
+    """The parallel path's exception handling after the narrowing fix.
+
+    ``except Exception`` used to relabel genuine taxonomy errors as
+    ``pool_unavailable`` and silently re-run serially; now only
+    environmental failures (OSError/RuntimeError/PicklingError) trigger
+    the serial fallback, and every ``ReproError`` propagates — including
+    ``PassError``, which is *also* a RuntimeError.
+    """
+
+    def test_repro_error_propagates_not_relabeled(self, monkeypatch):
+        from repro.errors import PassError
+        import repro.perf.dse as dse_mod
+
+        def boom(*args, **kwargs):
+            raise PassError("synthetic taxonomy failure")
+
+        monkeypatch.setattr(dse_mod, "_score_parallel", boom)
+        stats = WorkerStats()
+        with pytest.raises(PassError):
+            explore_designs(
+                build_chain(), small_accel(), 10 * 2**20, workers=2, stats=stats
+            )
+        assert not stats.pool_unavailable
+
+    def test_environmental_error_falls_back_serially(self, monkeypatch):
+        import repro.perf.dse as dse_mod
+
+        def boom(*args, **kwargs):
+            raise OSError("no process spawning in this environment")
+
+        monkeypatch.setattr(dse_mod, "_score_parallel", boom)
+        graph = build_chain()
+        base = small_accel()
+        serial = explore_designs(graph, base, 10 * 2**20)
+        stats = WorkerStats()
+        fallback = explore_designs(graph, base, 10 * 2**20, workers=2, stats=stats)
+        key = lambda points: [(p.accel.tile, p.umm_latency) for p in points]
+        assert key(fallback) == key(serial)
+        assert stats.pool_unavailable
