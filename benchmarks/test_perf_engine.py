@@ -21,6 +21,8 @@ import os
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.analysis.experiments import reference_design
 from repro.hw.precision import INT8, INT16
 from repro.lcmm.framework import LCMMOptions, run_lcmm
@@ -127,3 +129,60 @@ def test_dse_sweep_speedup():
         f"new(w=1) {serial_s * 1e3:.2f} ms ({old_s / serial_s:.2f}x)"
     )
     assert speedup >= 2.0
+
+
+def test_dse_pool_beats_serial_on_multicore():
+    """Regression: the pooled sweep must now *win*, not lose, vs serial.
+
+    The pre-pool parallel path was slower than the serial fast path
+    (the BENCH_engine.json staleness this PR fixes).  On a >=4-core
+    runner a warm persistent pool with adaptive chunks has to beat one
+    worker on a sweep large enough to amortise the chunk IPC.
+    """
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(
+            f"pool-scaling regression needs a >=4-core runner, host has {cores}"
+        )
+    from repro.perf import pool as pool_mod
+
+    graph = get_model("inception_v4")
+    base = reference_design("inception_v4", INT16, "lcmm")
+    tiles = candidate_tiles(
+        tm_values=(8, 16, 24, 32, 48, 64, 96, 128),
+        tn_values=(8, 16, 32, 64),
+        spatial_values=(7, 14, 28, 56, 112),
+    )
+    budget = 8 * 2**20
+
+    pool_mod.close_pool()
+    parallel = explore_designs(graph, base, budget, tiles=tiles, workers=4)
+    serial = explore_designs(graph, base, budget, tiles=tiles)
+    key = lambda pts: [(p.accel.tile, p.umm_latency) for p in pts]
+    assert key(parallel) == key(serial)
+
+    # The warm-up sweep above leaves the persistent pool hot; time what
+    # a session actually sees on repeated sweeps.
+    serial_s = _best_of(
+        lambda: explore_designs(graph, base, budget, tiles=tiles)
+    )
+    pooled_s = _best_of(
+        lambda: explore_designs(graph, base, budget, tiles=tiles, workers=4)
+    )
+    speedup = serial_s / pooled_s
+    _record(
+        "dse_pool_scaling_inception_v4",
+        {
+            "points": len(parallel),
+            "cpu_count": cores,
+            "workers1_seconds": serial_s,
+            "workers4_seconds": pooled_s,
+            "speedup_workers4_over_workers1": speedup,
+        },
+    )
+    print(
+        f"\ndse pool scaling ({len(parallel)} pts, {cores} cores): "
+        f"w=1 {serial_s * 1e3:.2f} ms, w=4 {pooled_s * 1e3:.2f} ms "
+        f"({speedup:.2f}x)"
+    )
+    assert speedup > 1.0

@@ -490,27 +490,73 @@ def _dse_body(args: argparse.Namespace) -> None:
     from repro.perf.dse import WorkerStats, explore_designs
 
     graph = _load_model(args.model)
-    base = reference_design(
-        args.model if args.model in BENCHMARKS else "resnet152",
-        precision_by_name(args.precision),
-        "lcmm",
-    )
     budget = int(args.budget * 2**20)
     stats = WorkerStats()
     cache = _open_cache(args.cache)
-    points = explore_designs(
-        graph, base, budget, workers=args.workers, stats=stats, cache=cache
-    )
-    print(
-        f"Tile DSE on {graph.name} ({args.precision}), "
-        f"{args.budget:.1f} MB tile-buffer budget, "
-        f"{len(points)} feasible points, workers={args.workers}:"
-    )
-    for point in points[: args.top]:
+    if args.space:
+        from repro.perf.space import explore_space, large_space, small_space
+
+        space = small_space() if args.space == "small" else large_space()
+        swept = space if args.sample is None else space.sample(args.sample)
+        result = explore_space(
+            graph,
+            swept,
+            budget,
+            workers=args.workers,
+            prune=args.prune,
+            top=args.top,
+            stats=stats,
+            cache=cache,
+            pool_mode=args.pool,
+        )
+        sample_note = f", {args.sample}-point sample" if args.sample else ""
         print(
-            f"  {str(point.accel.tile):28s} "
-            f"UMM {point.umm_latency * 1e3:8.3f} ms  "
-            f"tile buffers {point.tile_buffer_bytes / 2**20:5.2f} MB"
+            f"Design-space DSE on {graph.name} ({args.space} space{sample_note}), "
+            f"{args.budget:.1f} MB tile-buffer budget:"
+        )
+        print(
+            f"  {result.total_points} feasible points, "
+            f"{result.scored_points} scored, {result.pruned_points} pruned "
+            f"({result.pruned_dominated} tile-dominated, "
+            f"{result.pruned_bounded} roofline-bounded, "
+            f"{result.bases_pruned}/{result.bases_total} bases skipped whole)"
+        )
+        for point in result.points[: args.top]:
+            print(
+                f"  {point.accel.name:38s} {str(point.accel.tile):24s} "
+                f"UMM {point.umm_latency * 1e3:8.3f} ms"
+            )
+    else:
+        base = reference_design(
+            args.model if args.model in BENCHMARKS else "resnet152",
+            precision_by_name(args.precision),
+            "lcmm",
+        )
+        points = explore_designs(
+            graph,
+            base,
+            budget,
+            workers=args.workers,
+            stats=stats,
+            cache=cache,
+            pool_mode=args.pool,
+        )
+        print(
+            f"Tile DSE on {graph.name} ({args.precision}), "
+            f"{args.budget:.1f} MB tile-buffer budget, "
+            f"{len(points)} feasible points, workers={args.workers}:"
+        )
+        for point in points[: args.top]:
+            print(
+                f"  {str(point.accel.tile):28s} "
+                f"UMM {point.umm_latency * 1e3:8.3f} ms  "
+                f"tile buffers {point.tile_buffer_bytes / 2**20:5.2f} MB"
+            )
+    if args.workers > 1:
+        print(
+            f"Pool ({args.pool}): {stats.chunks} chunks, "
+            f"{stats.chunks_reused_pool} on an already-warm pool, "
+            f"{stats.init_seconds:.2f}s spinning up workers"
         )
     if stats.recovered():
         print(
@@ -738,6 +784,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="process count for the scoring sweep"
     )
     pdse.add_argument("--top", type=int, default=10, help="design points to print")
+    pdse.add_argument(
+        "--space",
+        choices=("small", "large"),
+        default=None,
+        help="sweep an exploded design-space preset (arrays x clocks x "
+        "precisions x DDR configs x tiles) instead of one base design; "
+        "--precision is ignored in this mode",
+    )
+    pdse.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --space: score a uniform random N-point sample of it",
+    )
+    pdse.add_argument(
+        "--prune",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --space: tile-dominance + roofline pre-pruning "
+        "(exact: same best design either way; --no-prune scores everything)",
+    )
+    pdse.add_argument(
+        "--pool",
+        choices=("keep", "fresh"),
+        default="keep",
+        help="worker-pool lifetime: 'keep' leaves the pool warm for later "
+        "sweeps in this process, 'fresh' builds and closes a private pool",
+    )
     pdse.add_argument(
         "--trace",
         metavar="PATH",

@@ -15,7 +15,22 @@ from repro.perf.systolic import AcceleratorConfig, SystolicArray, default_accele
 from repro.perf.engine import AllocationEngine, EngineStats
 from repro.perf.latency import LatencyModel, LayerLatency, Slot
 from repro.perf.roofline import RooflineModel, RooflinePoint
-from repro.perf.dse import DesignPoint, best_design, candidate_tiles, explore_designs
+from repro.perf.dse import (
+    DesignPoint,
+    WorkerStats,
+    best_design,
+    candidate_tiles,
+    explore_designs,
+)
+from repro.perf.pool import ScorerPool, close_pool, persistent_pool
+from repro.perf.space import (
+    DesignSpace,
+    SampledSpace,
+    SpaceResult,
+    explore_space,
+    large_space,
+    small_space,
+)
 from repro.perf.batching import BatchResult, batched_latency, umm_batched_latency
 from repro.perf.pipeline import PipelineResult, PipelineStage, design_pipeline
 
@@ -32,9 +47,19 @@ __all__ = [
     "RooflineModel",
     "RooflinePoint",
     "DesignPoint",
+    "WorkerStats",
     "best_design",
     "candidate_tiles",
     "explore_designs",
+    "ScorerPool",
+    "close_pool",
+    "persistent_pool",
+    "DesignSpace",
+    "SampledSpace",
+    "SpaceResult",
+    "explore_space",
+    "large_space",
+    "small_space",
     "BatchResult",
     "batched_latency",
     "umm_batched_latency",

@@ -16,24 +16,22 @@ LCMM's tensor buffers for SRAM.
 from __future__ import annotations
 
 import itertools
-import math
-import os
+import time
 from concurrent.futures import TimeoutError as FutureTimeout
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pickle import PicklingError
 from typing import TYPE_CHECKING
 
 from repro.errors import CapacityError, ConfigError, ReproError
-from repro.fingerprint import sweep_key, tile_key
+from repro.fingerprint import accel_fingerprint, sweep_key, tile_key
 from repro.obs import spans as obs
-from repro.robustness import inject
-from repro.robustness.inject import declare_fault_point, fault_point
 from repro.ir.graph import ComputationGraph
 from repro.ir.layer import Conv2D, DepthwiseConv2D
 from repro.ir.tensor import TensorKind
+from repro.perf import pool as pool_mod
 from repro.perf.latency import LatencyModel
+from repro.perf.pool import ScorerPool
 from repro.perf.systolic import AcceleratorConfig, SystolicArray
 from repro.perf.tiling import TileConfig
 
@@ -210,6 +208,36 @@ class _SweepScorer:
                 total += max(compute, if_lat, wt_lat, of_lat)
         return total
 
+    def lower_bound(self) -> float:
+        """UMM latency no tile on this base can beat.
+
+        Evaluates the plan with every reload factor at its floor of 1 —
+        each tensor streamed exactly once.  ``score(tile)`` only ever
+        multiplies transfer terms by trip counts >= 1 (the residency
+        caps can reduce a trip count, but never below 1), and the
+        per-node ``max`` and the summation are monotone in those terms,
+        so ``lower_bound() <= score(tile)`` for *every* tile — the
+        soundness the roofline dominance pruning of
+        :mod:`repro.perf.space` relies on.
+        """
+        bw_if = self._bw_if
+        bw_wt = self._bw_wt
+        total = 0.0
+        for entry in self._plan:
+            tag = entry[0]
+            if tag is None:
+                total += entry[1]
+            elif tag == "conv":
+                (_, compute, if_bytes, wt_bytes, of_lat, _, _, _, _) = entry
+                if_lat = sum(vol / bw_if for vol in if_bytes if vol)
+                wt_lat = wt_bytes / bw_wt if wt_bytes else 0.0
+                total += max(compute, if_lat, wt_lat, of_lat)
+            else:  # depthwise
+                (_, compute, if_lat, wt_bytes, of_lat, _, _) = entry
+                wt_lat = wt_bytes / bw_wt if wt_bytes else 0.0
+                total += max(compute, if_lat, wt_lat, of_lat)
+        return total
+
 
 @dataclass
 class WorkerStats:
@@ -230,6 +258,14 @@ class WorkerStats:
             the pool could not produce them.
         pool_unavailable: The pool could not be created at all and the
             whole sweep ran serially.
+        chunks_reused_pool: Chunks served by a pool that was already
+            warm when the sweep began — the persistent-pool win; a cold
+            first sweep has 0 here, every later sweep on the same graph
+            should have ``chunks_reused_pool == chunks``.
+        init_seconds: Wall seconds this sweep spent spinning up worker
+            pools (0.0 when the persistent pool was already warm).
+        points_pruned: Design points discarded before scoring by the
+            dominance/roofline pruning of :mod:`repro.perf.space`.
     """
 
     chunks: int = 0
@@ -239,6 +275,9 @@ class WorkerStats:
     pool_broken: bool = False
     serial_chunks: int = 0
     pool_unavailable: bool = False
+    chunks_reused_pool: int = 0
+    init_seconds: float = 0.0
+    points_pruned: int = 0
 
     def recovered(self) -> bool:
         """Whether any fault handling occurred."""
@@ -251,57 +290,30 @@ class WorkerStats:
             or self.pool_unavailable
         )
 
+    def absorb(self, other: "WorkerStats") -> None:
+        """Accumulate another sweep's counters into this one.
 
-declare_fault_point("dse.chunk", "one tile chunk scored in a DSE worker")
-
-
-# Worker-process state for the parallel sweep, installed once per worker
-# by the pool initializer so tile chunks only ship the tiles themselves.
-_worker_scorer: _SweepScorer | None = None
-
-
-def _dse_init(
-    graph: ComputationGraph,
-    base: AcceleratorConfig,
-    fault_plans: tuple = (),
-    trace: bool = False,
-) -> None:
-    global _worker_scorer
-    _worker_scorer = _SweepScorer(graph, base)
-    # Fault injection armed in the parent follows the work into the
-    # worker (chaos tests for the crash/timeout recovery paths).
-    inject.install_plans(fault_plans)
-    # Tracing armed in the parent follows too: the worker runs its own
-    # tracer (own epoch, own process label) and ships finished spans back
-    # with each chunk's scores for parent-side merging.  A forked worker
-    # inherits the parent's tracer object, so always install a fresh one
-    # (or none) rather than recording into the inherited copy.
-    if trace:
-        obs.enable(f"dse-worker-{os.getpid()}")
-    else:
-        obs.disable()
+        :func:`repro.perf.space.explore_space` runs one sweep per base
+        design and reports space-wide totals through a single stats
+        object.
+        """
+        self.chunks += other.chunks
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.failures += other.failures
+        self.pool_broken = self.pool_broken or other.pool_broken
+        self.serial_chunks += other.serial_chunks
+        self.pool_unavailable = self.pool_unavailable or other.pool_unavailable
+        self.chunks_reused_pool += other.chunks_reused_pool
+        self.init_seconds += other.init_seconds
+        self.points_pruned += other.points_pruned
 
 
-def _score_chunk(
-    tiles: list[TileConfig], index: int = 0
-) -> tuple[list[float], list[dict]]:
-    """Score one contiguous chunk of tiles in a worker process.
-
-    Returns the scores plus the serialized spans recorded while scoring
-    (empty when tracing is off), so the parent can merge per-chunk worker
-    timelines into its trace.
-    """
-    fault_point("dse.chunk", chunk=index)
-    tracer = obs.tracer()
-    mark = len(tracer.records) if tracer is not None else 0
-    with obs.span("dse.chunk", chunk=index, tiles=len(tiles)):
-        scores = [_worker_scorer.score(tile) for tile in tiles]
-    spans = (
-        [record.as_dict() for record in tracer.records[mark:]]
-        if tracer is not None
-        else []
-    )
-    return scores, spans
+#: Points the parent scores itself to measure the per-point cost when a
+#: pool has no throughput estimate yet.  Their scores are part of the
+#: sweep result, so calibration is never wasted work; capped at half the
+#: workload so small sweeps still exercise the pool.
+_CALIBRATION_POINTS = 8
 
 
 def _score_parallel(
@@ -312,99 +324,123 @@ def _score_parallel(
     chunk_timeout: float | None = None,
     chunk_retries: int = 1,
     stats: WorkerStats | None = None,
+    pool: ScorerPool | None = None,
+    scorer: _SweepScorer | None = None,
 ) -> list[float]:
-    """Fan tile scoring out over a process pool, preserving tile order.
+    """Fan tile scoring out over a (persistent) pool, preserving order.
 
-    Contiguous chunks (a few per worker, to balance uneven models) are
-    scored in worker processes and reassembled by index, so the result
-    lines up with ``tiles`` regardless of which worker finished first.
+    Chunks are sized adaptively from the pool's measured per-point cost
+    (a cold pool first calibrates on a small parent-scored prefix),
+    encoded as packed int arrays, scored in worker processes and
+    reassembled by index, so the result lines up with ``tiles``
+    regardless of which worker finished first.
 
     Hardened against worker failure: a chunk that raises *or misses
     ``chunk_timeout``* is resubmitted up to ``chunk_retries`` times; a
-    chunk that exhausts its retries — and every chunk lost when the pool
-    itself breaks (``BrokenProcessPool``) — is re-executed *serially in
-    the parent*, so the sweep always terminates with exact results.  The
+    chunk that exhausts its retries is re-executed *serially in the
+    parent*, so the sweep always terminates with exact results.  The
     serial path recomputes with a fresh scorer rather than trusting
     anything a dying worker may have sent.
 
-    A timed-out chunk whose future is already running cannot be
-    cancelled (``Future.cancel()`` is a no-op at that point), which
-    strands the hung worker on its pool slot; any round that observes
-    this tears the whole pool down (``shutdown(cancel_futures=True)``)
-    and retries run in a freshly created pool, so no slot stays occupied
-    by a dead deadline.
+    A broken pool (``BrokenProcessPool``) or a timed-out chunk whose
+    future is already running (uncancellable, stranding the hung worker
+    on its slot) triggers :meth:`ScorerPool.refresh`: the executor is
+    discarded and retries run in a freshly created one — the persistent
+    pool *object* survives, so no broken executor leaks into later
+    sweeps and no slot stays occupied by a dead deadline.
     """
     stats = stats if stats is not None else WorkerStats()
-    chunk = max(1, math.ceil(len(tiles) / (workers * 4)))
-    chunks = [tiles[i : i + chunk] for i in range(0, len(tiles), chunk)]
-    stats.chunks = len(chunks)
+    if pool is None:
+        pool = pool_mod.persistent_pool(graph, workers)
     tracer = obs.tracer()
+    base_key = accel_fingerprint(base, include_tile=False)
+    n = len(tiles)
+    prefix: list[float] = []
+    if pool.per_point_seconds is None and n > 1:
+        # Cold pool: measure the per-point cost on a small prefix so the
+        # very first chunking is already informed.  The prefix scores
+        # are part of the result.
+        k = min(_CALIBRATION_POINTS, n // 2)
+        if k > 0:
+            scorer = scorer if scorer is not None else _SweepScorer(graph, base)
+            start = time.perf_counter()
+            prefix = [scorer.score(tile) for tile in tiles[:k]]
+            pool.observe(k, time.perf_counter() - start)
+    rest = tiles[len(prefix):]
+    chunk = pool.chunk_size(len(rest))
+    chunks = [
+        pool_mod.encode_tiles(rest[i : i + chunk])
+        for i in range(0, len(rest), chunk)
+    ]
+    sizes = [len(encoded) // pool_mod.TILE_WORDS for encoded in chunks]
+    stats.chunks = len(chunks)
+    preexisting = pool.is_warm()
+    start_generation = pool.generation
     results: list[list[float] | None] = [None] * len(chunks)
-
-    def make_pool() -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
-            initializer=_dse_init,
-            initargs=(graph, base, inject.active_plans(), tracer is not None),
-        )
-
-    pool: ProcessPoolExecutor | None = make_pool()
-    try:
-        pending = list(range(len(chunks)))
-        attempts = [0] * len(chunks)
-        while pending:
-            if pool is None:
-                pool = make_pool()
-            futures = [(pool.submit(_score_chunk, chunks[i], i), i) for i in pending]
-            retry: list[int] = []
-            broken = False
-            stranded = False
-            for future, i in futures:
-                try:
-                    # Chunks run concurrently, so waiting on them in
-                    # submission order still gives each roughly its own
-                    # deadline — and never mislabels a healthy chunk.
-                    scores, worker_spans = future.result(timeout=chunk_timeout)
-                    results[i] = scores
-                    if tracer is not None and worker_spans:
-                        tracer.merge(worker_spans)
-                except FutureTimeout:
-                    stats.timeouts += 1
-                    # A still-queued future cancels cleanly; a running
-                    # one does not, and its hung worker keeps the pool
-                    # slot — mark the pool for replacement.
-                    if not future.cancel():
-                        stranded = True
-                    attempts[i] += 1
-                    if attempts[i] <= chunk_retries:
-                        stats.retries += 1
-                        retry.append(i)
-                except BrokenProcessPool:
-                    broken = True
-                except Exception:
-                    stats.failures += 1
-                    attempts[i] += 1
-                    if attempts[i] <= chunk_retries:
-                        stats.retries += 1
-                        retry.append(i)
-            if broken:
-                stats.pool_broken = True
-                break
-            if stranded:
-                pool.shutdown(wait=False, cancel_futures=True)
-                pool = None
-            pending = retry
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+    pending = list(range(len(chunks)))
+    attempts = [0] * len(chunks)
+    while pending:
+        _, init_elapsed = pool.ensure()
+        stats.init_seconds += init_elapsed
+        if preexisting and pool.generation == start_generation:
+            stats.chunks_reused_pool += len(pending)
+        futures = [
+            (pool.submit_chunk(base, base_key, chunks[i], i), i) for i in pending
+        ]
+        retry: list[int] = []
+        broken = False
+        stranded = False
+        for future, i in futures:
+            try:
+                # Chunks run concurrently, so waiting on them in
+                # submission order still gives each roughly its own
+                # deadline — and never mislabels a healthy chunk.
+                scores, seconds, worker_spans = future.result(timeout=chunk_timeout)
+                results[i] = list(scores)
+                pool.observe(sizes[i], seconds)
+                pool.chunks_scored += 1
+                if tracer is not None and worker_spans:
+                    tracer.merge(worker_spans)
+            except FutureTimeout:
+                stats.timeouts += 1
+                # A still-queued future cancels cleanly; a running one
+                # does not, and its hung worker keeps the pool slot —
+                # mark the executor for replacement.
+                if not future.cancel():
+                    stranded = True
+                attempts[i] += 1
+                if attempts[i] <= chunk_retries:
+                    stats.retries += 1
+                    retry.append(i)
+            except BrokenProcessPool:
+                broken = True
+                attempts[i] += 1
+                if attempts[i] <= chunk_retries:
+                    stats.retries += 1
+                    retry.append(i)
+            except Exception:
+                stats.failures += 1
+                attempts[i] += 1
+                if attempts[i] <= chunk_retries:
+                    stats.retries += 1
+                    retry.append(i)
+        if broken:
+            stats.pool_broken = True
+            pool.refresh()
+        elif stranded:
+            pool.refresh()
+        pending = retry
     lost = [i for i in range(len(chunks)) if results[i] is None]
     if lost:
         stats.serial_chunks = len(lost)
         with obs.span("dse.serial-rescore", chunks=len(lost)):
-            scorer = _SweepScorer(graph, base)
+            scorer = scorer if scorer is not None else _SweepScorer(graph, base)
             for i in lost:
-                results[i] = [scorer.score(tile) for tile in chunks[i]]
-    return [lat for part in results for lat in part]
+                results[i] = [
+                    scorer.score(tile)
+                    for tile in pool_mod.decode_tiles(chunks[i])
+                ]
+    return prefix + [lat for part in results for lat in part]
 
 
 def explore_designs(
@@ -417,6 +453,9 @@ def explore_designs(
     chunk_retries: int = 1,
     stats: WorkerStats | None = None,
     cache: "CompilationCache | None" = None,
+    pool: ScorerPool | None = None,
+    pool_mode: str = "keep",
+    scorer: _SweepScorer | None = None,
 ) -> list[DesignPoint]:
     """Score every feasible tile configuration on a model.
 
@@ -448,6 +487,18 @@ def explore_designs(
             of the same (graph, base-sans-tile) pair — only unseen tiles
             are scored (serially or in the pool), and their scores are
             written back for the next sweep.  Off by default.
+        pool: Explicit :class:`~repro.perf.pool.ScorerPool` to score on
+            (:func:`~repro.perf.space.explore_space` shares one across
+            bases).  The caller owns its lifetime.
+        pool_mode: ``"keep"`` (default) scores on the process-wide
+            persistent pool, which stays warm for later sweeps of the
+            same graph; ``"fresh"`` builds a private pool and closes it
+            before returning.  Ignored when ``pool`` is given.
+        scorer: Optional pre-built :class:`_SweepScorer` for
+            (graph, base), reused by the serial/calibration paths
+            instead of re-characterising the graph
+            (:func:`~repro.perf.space.explore_space` already built one
+            for the dominance bound).
 
     Returns:
         Feasible design points sorted by ascending UMM latency.
@@ -468,6 +519,11 @@ def explore_designs(
         )
     if workers < 1:
         raise ConfigError("workers must be at least 1", details={"workers": workers})
+    if pool_mode not in ("keep", "fresh"):
+        raise ConfigError(
+            "pool_mode must be 'keep' or 'fresh'",
+            details={"pool_mode": pool_mode},
+        )
     if tiles is not None and not tiles:
         return []
     feasible: list[tuple[TileConfig, int]] = []
@@ -500,7 +556,15 @@ def explore_designs(
         scored: list[float] | None = None
         if pending:
             if min(workers, len(pending)) > 1:
+                sweep_pool = pool
+                private_pool: ScorerPool | None = None
                 try:
+                    if sweep_pool is None:
+                        if pool_mode == "fresh":
+                            private_pool = ScorerPool(graph, workers)
+                            sweep_pool = private_pool
+                        else:
+                            sweep_pool = pool_mod.persistent_pool(graph, workers)
                     scored = _score_parallel(
                         graph,
                         base,
@@ -509,6 +573,8 @@ def explore_designs(
                         chunk_timeout=chunk_timeout,
                         chunk_retries=chunk_retries,
                         stats=stats,
+                        pool=sweep_pool,
+                        scorer=scorer,
                     )
                 except ReproError:
                     # A genuinely invalid graph/config surfaced during
@@ -523,9 +589,13 @@ def explore_designs(
                     if stats is not None:
                         stats.pool_unavailable = True
                     scored = None
+                finally:
+                    if private_pool is not None:
+                        private_pool.close()
             if scored is None:
                 with obs.span("dse.serial-sweep", tiles=len(pending)):
-                    scorer = _SweepScorer(graph, base)
+                    if scorer is None:
+                        scorer = _SweepScorer(graph, base)
                     scored = [scorer.score(tile) for tile in pending]
         else:
             scored = []
@@ -560,12 +630,15 @@ def _publish_sweep_metrics(stats: WorkerStats, graph_name: str) -> None:
         ("dse.timeouts", stats.timeouts),
         ("dse.failures", stats.failures),
         ("dse.serial_chunks", stats.serial_chunks),
+        ("dse.chunks_reused_pool", stats.chunks_reused_pool),
+        ("dse.points_pruned", stats.points_pruned),
     ):
         counters.counter(name).inc(value, graph=graph_name)
     counters.gauge("dse.pool_broken").set(float(stats.pool_broken), graph=graph_name)
     counters.gauge("dse.pool_unavailable").set(
         float(stats.pool_unavailable), graph=graph_name
     )
+    counters.gauge("dse.init_seconds").set(stats.init_seconds, graph=graph_name)
 
 
 def best_design(

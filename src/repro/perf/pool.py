@@ -1,0 +1,483 @@
+"""Persistent, reusable worker pools for design-space scoring.
+
+``BENCH_engine.json`` showed the original parallel DSE path *losing* to
+the serial fast path (64-point sweep: 17.6x serial vs 4.4x with
+``workers=4``): every sweep paid full ``ProcessPoolExecutor`` spin-up,
+every chunk re-pickled result objects, and the fixed ``n / (workers*4)``
+chunking left nothing to amortise any of it against.  This module is the
+fix — a pool that outlives a single sweep and a wire protocol sized to
+the actual work:
+
+* **One pool per graph, kept warm.**  The initializer ships the
+  computation graph (the only heavy payload) exactly once per worker
+  process.  The pool persists across ``explore_designs`` / ``sweep`` /
+  ``cotune`` / cache-warm-start calls on the same graph; a module
+  registry (:func:`persistent_pool`) hands the live pool back whenever
+  the (graph fingerprint, workers, tracing, fault plans) identity
+  matches, and :func:`close_pool` / ``lcmm dse --pool fresh`` manage its
+  lifetime explicitly.
+* **Scorers memoised per worker.**  Chunks carry the *base* design point
+  (~1 kB of scalars) and a worker builds one
+  :class:`~repro.perf.dse._SweepScorer` per base fingerprint (small
+  LRU), so the graph is re-characterised at most once per
+  (worker, base) — exploded multi-base spaces stream through the same
+  warm pool.
+* **Compact encoding.**  Tiles travel as a packed int array (16
+  bytes/tile instead of a pickled :class:`TileConfig` each) and scores
+  return as a packed float array plus the measured wall seconds —
+  no per-point object pickling in either direction.
+* **Adaptive chunking.**  Chunk sizes are derived from the measured
+  per-point scoring cost (:meth:`ScorerPool.observe` keeps an EWMA fed
+  by both parent-side calibration and worker-reported chunk timings)
+  so each chunk costs roughly :data:`TARGET_CHUNK_SECONDS` of work —
+  large enough to bury the IPC, small enough to balance and retry.
+
+Fault handling composes with the hardened retry loop in
+:mod:`repro.perf.dse`: a broken or stranded pool is *refreshed*
+(:meth:`ScorerPool.refresh` discards the executor; the next
+:meth:`ScorerPool.ensure` builds a fresh one with identical initargs),
+so crash/hang faults trigger fresh-pool retries without leaking the
+persistent pool object or its registry slot.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+import time
+from array import array
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ConfigError
+from repro.obs import spans as obs
+from repro.robustness import inject
+from repro.robustness.inject import declare_fault_point, fault_point
+from repro.perf.tiling import TileConfig
+
+if TYPE_CHECKING:
+    from concurrent.futures import Future
+
+    from repro.ir.graph import ComputationGraph
+
+__all__ = [
+    "ScorerPool",
+    "TARGET_CHUNK_SECONDS",
+    "active_pool",
+    "adaptive_chunk_size",
+    "close_pool",
+    "decode_tiles",
+    "encode_tiles",
+    "persistent_pool",
+]
+
+#: Ints per tile in the packed wire encoding (tm, tn, th, tw).
+TILE_WORDS = 4
+
+#: Wall seconds of scoring work one adaptive chunk aims to hold.  Large
+#: against the ~100 us submit/receive cost of a chunk, small enough that
+#: a sweep still splits into enough chunks to balance and to retry
+#: cheaply on a fault.
+TARGET_CHUNK_SECONDS = 0.05
+
+#: Ceiling on chunks per worker, so tiny per-point costs never shatter a
+#: sweep into thousands of IPC round-trips.
+_MAX_ROUNDS_PER_WORKER = 64
+
+#: Scorers a worker keeps alive at once.  Exploded spaces walk bases
+#: sequentially, so consecutive chunks share a base and a tiny LRU hits.
+_SCORER_LRU = 4
+
+#: Deadline for the warm-up pings that prove the pool came up at all.
+_WARMUP_TIMEOUT = 60.0
+
+declare_fault_point("dse.chunk", "one tile chunk scored in a DSE worker")
+
+
+# ----------------------------------------------------------------------
+# Wire encoding
+# ----------------------------------------------------------------------
+
+def encode_tiles(tiles: Sequence[TileConfig]) -> array:
+    """Pack tiles into a flat int array (``TILE_WORDS`` ints per tile)."""
+    flat = array("i")
+    for tile in tiles:
+        flat.extend((tile.tm, tile.tn, tile.th, tile.tw))
+    return flat
+
+
+def decode_tiles(encoded: array) -> list[TileConfig]:
+    """Rebuild :class:`TileConfig` objects from :func:`encode_tiles` output."""
+    it = iter(encoded)
+    return [TileConfig(tm, tn, th, tw) for tm, tn, th, tw in zip(it, it, it, it)]
+
+
+def adaptive_chunk_size(
+    points: int,
+    workers: int,
+    per_point_seconds: float | None,
+    target_seconds: float = TARGET_CHUNK_SECONDS,
+) -> int:
+    """Chunk size scaled from the measured per-point cost and worker count.
+
+    With no measurement yet (a cold pool) this falls back to the fixed
+    four-rounds-per-worker split; with one, the chunk holds roughly
+    ``target_seconds`` of scoring work, clamped so every worker gets at
+    least one chunk and no worker sees more than
+    :data:`_MAX_ROUNDS_PER_WORKER` of them.
+    """
+    if points <= 0:
+        return 1
+    workers = max(1, workers)
+    if per_point_seconds is None or per_point_seconds <= 0.0:
+        return max(1, math.ceil(points / (workers * 4)))
+    size = max(1, int(target_seconds / per_point_seconds))
+    size = min(size, math.ceil(points / workers))
+    size = max(size, math.ceil(points / (workers * _MAX_ROUNDS_PER_WORKER)))
+    return size
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+
+#: The graph this worker scores against, shipped once by the initializer.
+_worker_graph: "ComputationGraph | None" = None
+
+#: Per-worker scorer cache: base fingerprint -> _SweepScorer (LRU).
+_worker_scorers: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _pool_init(
+    graph: "ComputationGraph",
+    fault_plans: tuple = (),
+    trace: bool = False,
+) -> None:
+    """Worker initializer: receives the graph exactly once per process."""
+    global _worker_graph
+    _worker_graph = graph
+    _worker_scorers.clear()
+    # Fault injection armed in the parent follows the work into the
+    # worker (chaos tests for the crash/timeout recovery paths).
+    inject.install_plans(fault_plans)
+    # Tracing armed in the parent follows too: the worker runs its own
+    # tracer (own epoch, own process label) and ships finished spans
+    # back with each chunk for parent-side merging.  A forked worker
+    # inherits the parent's tracer object, so always install a fresh
+    # one (or none) rather than recording into the inherited copy.
+    if trace:
+        obs.enable(f"dse-worker-{os.getpid()}")
+    else:
+        obs.disable()
+
+
+def _pool_ping() -> int:
+    """Warm-up no-op proving a worker process came up and initialized."""
+    return os.getpid()
+
+
+def _scorer_for(base, base_key: str):
+    """This worker's memoised scorer for a base design point."""
+    scorer = _worker_scorers.get(base_key)
+    if scorer is None:
+        from repro.perf.dse import _SweepScorer
+
+        scorer = _SweepScorer(_worker_graph, base)
+        _worker_scorers[base_key] = scorer
+        while len(_worker_scorers) > _SCORER_LRU:
+            _worker_scorers.popitem(last=False)
+    else:
+        _worker_scorers.move_to_end(base_key)
+    return scorer
+
+
+def _pool_lower_bounds(bases, base_keys: Sequence[str]) -> array:
+    """Characterise bases in a worker and return their sweep floors.
+
+    The per-base graph characterisation behind
+    :func:`repro.perf.roofline.sweep_lower_bound` is the serial
+    bottleneck of a pruned exploded sweep (hundreds of bases, a handful
+    of surviving tiles), so :func:`repro.perf.space.explore_space` fans
+    it out over the same pool that scores the tiles.
+    """
+    return array(
+        "d",
+        [
+            _scorer_for(base, key).lower_bound()
+            for base, key in zip(bases, base_keys)
+        ],
+    )
+
+
+def _pool_score_chunk(
+    base, base_key: str, encoded: array, index: int = 0
+) -> tuple[array, float, list[dict]]:
+    """Score one packed chunk of tiles in a worker process.
+
+    Returns the scores as a packed float array, the measured wall
+    seconds (fed back into the parent's adaptive chunk sizing), and the
+    serialized spans recorded while scoring (empty when tracing is off).
+    """
+    fault_point("dse.chunk", chunk=index)
+    tracer = obs.tracer()
+    mark = len(tracer.records) if tracer is not None else 0
+    start = time.perf_counter()
+    with obs.span(
+        "dse.chunk", chunk=index, tiles=len(encoded) // TILE_WORDS
+    ):
+        scorer = _scorer_for(base, base_key)
+        score = scorer.score
+        scores = array("d", [score(tile) for tile in decode_tiles(encoded)])
+    seconds = time.perf_counter() - start
+    spans = (
+        [record.as_dict() for record in tracer.records[mark:]]
+        if tracer is not None
+        else []
+    )
+    return scores, seconds, spans
+
+
+# ----------------------------------------------------------------------
+# Parent-process side
+# ----------------------------------------------------------------------
+
+class ScorerPool:
+    """A lazily created, reusable process pool bound to one graph.
+
+    The executor is not built until the first :meth:`ensure`, so merely
+    resolving a pool (the serial path does) costs nothing.  The pool
+    survives across sweeps; :meth:`refresh` replaces a broken or
+    stranded executor without losing the pool's identity, measurements
+    or registry slot, and :meth:`close` ends its life explicitly.
+
+    Args:
+        graph: The computation graph workers score against.
+        workers: Worker process count.
+        trace: Ship parent tracing into the workers (worker spans are
+            returned with each chunk for merging).
+        plans: Fault plans to install in each worker; defaults to the
+            plans armed in this process at construction time.
+        graph_fp: Precomputed :func:`~repro.fingerprint.graph_fingerprint`
+            (avoids re-serializing the graph when the caller already has
+            it).
+    """
+
+    def __init__(
+        self,
+        graph: "ComputationGraph",
+        workers: int,
+        trace: bool = False,
+        plans: Iterable | None = None,
+        graph_fp: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(
+                "pool workers must be at least 1", details={"workers": workers}
+            )
+        from repro.fingerprint import graph_fingerprint
+
+        self.graph = graph
+        self.workers = int(workers)
+        self.trace = bool(trace)
+        self.plans = tuple(plans) if plans is not None else inject.active_plans()
+        self.graph_fp = graph_fp or graph_fingerprint(graph)
+        #: Incremented every time :meth:`refresh` discards an executor.
+        self.generation = 0
+        #: Total wall seconds spent spinning up executors (all generations).
+        self.init_seconds_total = 0.0
+        #: EWMA of measured seconds per scored point (None until observed).
+        self.per_point_seconds: float | None = None
+        #: Chunks successfully scored over the pool's lifetime.
+        self.chunks_scored = 0
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    # -- identity ------------------------------------------------------
+
+    def matches(
+        self, graph_fp: str, workers: int, trace: bool, plans: tuple
+    ) -> bool:
+        """Whether this pool can serve a request with the given identity."""
+        return (
+            not self._closed
+            and self.graph_fp == graph_fp
+            and self.workers == workers
+            and self.trace == trace
+            and self.plans == plans
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def is_warm(self) -> bool:
+        """Whether a live executor exists right now."""
+        return self._executor is not None
+
+    def ensure(self) -> tuple[ProcessPoolExecutor, float]:
+        """The live executor, creating and warming one if needed.
+
+        Returns ``(executor, seconds)`` where ``seconds`` is the wall
+        time spent bringing the pool up (0.0 when it was already warm).
+        Warm-up submits one ping per worker and waits for them, so the
+        initializer has demonstrably run before real chunks are
+        dispatched — chunk deadlines never absorb process spawn time,
+        and an environment that cannot spawn fails *here* (with
+        ``OSError``/``RuntimeError``, which the caller's environmental
+        fallback catches) rather than mid-sweep.
+        """
+        if self._closed:
+            raise RuntimeError("ScorerPool is closed")
+        if self._executor is not None:
+            return self._executor, 0.0
+        start = time.perf_counter()
+        executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_pool_init,
+            initargs=(self.graph, self.plans, self.trace),
+        )
+        try:
+            pings = [executor.submit(_pool_ping) for _ in range(self.workers)]
+            done, not_done = futures_wait(pings, timeout=_WARMUP_TIMEOUT)
+            if not_done:
+                raise RuntimeError(
+                    f"worker pool warm-up timed out after {_WARMUP_TIMEOUT}s"
+                )
+            for ping in done:
+                ping.result()  # surfaces initializer failures
+        except BaseException:
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        elapsed = time.perf_counter() - start
+        self._executor = executor
+        self.init_seconds_total += elapsed
+        return executor, elapsed
+
+    def refresh(self) -> None:
+        """Discard the current executor (broken pool / stranded worker).
+
+        The pool object stays alive and registered; the next
+        :meth:`ensure` builds a fresh executor with identical initargs.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.generation += 1
+
+    def close(self) -> None:
+        """Shut the pool down for good (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self._closed = True
+
+    # -- scoring support ----------------------------------------------
+
+    def submit_chunk(
+        self, base, base_key: str, encoded: array, index: int
+    ) -> "Future":
+        """Submit one packed chunk against the live executor."""
+        executor = self._executor
+        if executor is None:
+            raise RuntimeError("ensure() the pool before submitting chunks")
+        return executor.submit(_pool_score_chunk, base, base_key, encoded, index)
+
+    def submit_bounds(self, bases, base_keys: Sequence[str]) -> "Future":
+        """Submit one batch of per-base lower-bound computations."""
+        executor = self._executor
+        if executor is None:
+            raise RuntimeError("ensure() the pool before submitting bounds")
+        return executor.submit(_pool_lower_bounds, bases, base_keys)
+
+    def observe(self, points: int, seconds: float) -> None:
+        """Feed one measured (points scored, wall seconds) sample."""
+        if points <= 0 or seconds <= 0.0:
+            return
+        sample = seconds / points
+        if self.per_point_seconds is None:
+            self.per_point_seconds = sample
+        else:
+            self.per_point_seconds = 0.5 * self.per_point_seconds + 0.5 * sample
+
+    def chunk_size(self, points: int) -> int:
+        """Adaptive chunk size for a sweep of ``points`` on this pool."""
+        return adaptive_chunk_size(points, self.workers, self.per_point_seconds)
+
+    def describe(self) -> dict:
+        """Lifetime counters for ``lcmm dse`` / stats output."""
+        return {
+            "workers": self.workers,
+            "warm": self.is_warm(),
+            "generation": self.generation,
+            "chunks_scored": self.chunks_scored,
+            "init_seconds_total": self.init_seconds_total,
+            "per_point_seconds": self.per_point_seconds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover — debug aid
+        state = "closed" if self._closed else ("warm" if self.is_warm() else "cold")
+        return (
+            f"ScorerPool(workers={self.workers}, {state}, "
+            f"gen={self.generation}, graph={self.graph_fp[:12]})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide registry (one persistent pool at a time)
+# ----------------------------------------------------------------------
+
+_PERSISTENT: ScorerPool | None = None
+
+
+def persistent_pool(
+    graph: "ComputationGraph",
+    workers: int,
+    trace: bool | None = None,
+    graph_fp: str | None = None,
+) -> ScorerPool:
+    """The process-wide persistent pool for ``(graph, workers)``.
+
+    Returns the live pool when its identity — graph fingerprint, worker
+    count, tracing state and armed fault plans — matches the request;
+    otherwise closes the old pool and registers a fresh (still lazy)
+    one.  Keeping at most one persistent pool bounds resident worker
+    processes regardless of how many different sweeps a session runs.
+    """
+    global _PERSISTENT
+    if trace is None:
+        trace = obs.enabled()
+    plans = inject.active_plans()
+    if graph_fp is None:
+        from repro.fingerprint import graph_fingerprint
+
+        graph_fp = graph_fingerprint(graph)
+    pool = _PERSISTENT
+    if pool is not None and pool.matches(graph_fp, workers, trace, plans):
+        return pool
+    if pool is not None:
+        pool.close()
+    _PERSISTENT = ScorerPool(
+        graph, workers, trace=trace, plans=plans, graph_fp=graph_fp
+    )
+    return _PERSISTENT
+
+
+def active_pool() -> ScorerPool | None:
+    """The registered persistent pool, if any (for tests and stats)."""
+    return _PERSISTENT
+
+
+def close_pool() -> None:
+    """Close and drop the persistent pool (idempotent)."""
+    global _PERSISTENT
+    if _PERSISTENT is not None:
+        _PERSISTENT.close()
+        _PERSISTENT = None
+
+
+atexit.register(close_pool)

@@ -1,0 +1,565 @@
+"""Exploded accelerator design spaces with dominance pre-pruning.
+
+:mod:`repro.perf.dse` sweeps the tile axis of *one* base design.  This
+module widens the sweep to the full design space the external DSE of
+[18] would explore — PE array shapes x tile sizes x clock x precision x
+DDR configuration — at the 10^5-to-10^6-point scale where SoMa/AutoWS
+(PAPERS.md) show communication/allocation co-design actually pays off.
+
+Scoring every point at that scale is wasteful, because most of the space
+is *provably* uncompetitive before any scoring happens:
+
+* **Tile dominance.**  The sweep score is invariant in the input-channel
+  tile ``tn`` (reload traffic depends only on ``tm`` and ``th x tw``),
+  so of all budget-feasible tiles sharing ``(tm, th, tw)`` only the
+  first-enumerated needs scoring — the rest are equal-score duplicates
+  with a larger or equal buffer footprint.
+* **Roofline base dominance.**  :func:`repro.perf.roofline.sweep_lower_bound`
+  evaluates a base with every DDR reload at its floor of one trip; no
+  tile on that base can do better.  Bases are scored in ascending order
+  of this bound, and a base whose *floor* already exceeds the best
+  design found so far is discarded whole, with every tile unscored.
+
+Both prunings are exact: :func:`explore_space` returns the bit-identical
+best design point (same accelerator, same score) with pruning on or off,
+and every pruned count is reported — in the returned
+:class:`SpaceResult`, in ``WorkerStats.points_pruned`` and in the
+``dse.points_pruned`` metric.  There are no silent caps.
+
+Scoring streams through one persistent :class:`~repro.perf.pool.ScorerPool`
+shared across every base (workers memoise per-base scorers in a small
+LRU), and per-tile scores warm-start from the
+:class:`~repro.cache.store.CompilationCache` under the same per-base
+``sweep_key`` that :func:`~repro.perf.dse.explore_designs` uses — a
+repeated exploded sweep only scores what it has never seen.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import CapacityError, ConfigError
+from repro.fingerprint import accel_fingerprint
+from repro.hw.fpga import FPGADevice, VU9P
+from repro.hw.precision import ALL_PRECISIONS, INT8, INT16, Precision
+from repro.obs import spans as obs
+from repro.perf import pool as pool_mod
+from repro.perf.dse import DesignPoint, WorkerStats, _SweepScorer, explore_designs
+from repro.perf.pool import ScorerPool
+from repro.perf.systolic import AcceleratorConfig, SystolicArray
+from repro.perf.tiling import TileConfig
+
+if TYPE_CHECKING:
+    from repro.cache.store import CompilationCache
+    from repro.ir.graph import ComputationGraph
+
+__all__ = [
+    "DesignSpace",
+    "SampledSpace",
+    "SpaceResult",
+    "explore_space",
+    "large_space",
+    "small_space",
+]
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A cartesian accelerator design space.
+
+    The cross product of every axis below defines the candidate set; one
+    *base* design per (array, precision, frequency, DDR efficiency,
+    residency caps) combination, times one point per tile shape.  Bases
+    whose array does not fit the device's DSP budget at the requested
+    precision are excluded up front (and counted — see
+    :meth:`infeasible_bases`).
+
+    Attributes:
+        arrays: PE array shapes to consider.
+        precisions: Arithmetic precisions.
+        frequencies: Achieved clocks in Hz.
+        ddr_efficiencies: Sustained fractions of theoretical DDR
+            bandwidth (the memory-system axis).
+        tm_values: Output-channel tile extents.
+        tn_values: Input-channel tile extents.
+        spatial_values: Square spatial tile extents (``th == tw``).
+        if_resident_caps: Input-residency buffer capacities in bytes
+            (0 disables the option).
+        wt_resident_caps: Weight-residency buffer capacities in bytes.
+        device: Target FPGA.
+    """
+
+    arrays: tuple[SystolicArray, ...]
+    precisions: tuple[Precision, ...] = (INT16, INT8)
+    frequencies: tuple[float, ...] = (190e6,)
+    ddr_efficiencies: tuple[float, ...] = (1.0,)
+    tm_values: tuple[int, ...] = (16, 32, 64, 128)
+    tn_values: tuple[int, ...] = (16, 32, 64)
+    spatial_values: tuple[int, ...] = (7, 14, 28, 56)
+    if_resident_caps: tuple[int, ...] = (0,)
+    wt_resident_caps: tuple[int, ...] = (0,)
+    device: FPGADevice = VU9P
+
+    def __post_init__(self) -> None:
+        for axis in (
+            "arrays", "precisions", "frequencies", "ddr_efficiencies",
+            "tm_values", "tn_values", "spatial_values",
+            "if_resident_caps", "wt_resident_caps",
+        ):
+            if not getattr(self, axis):
+                raise ConfigError(
+                    f"design-space axis {axis!r} must be non-empty"
+                )
+
+    def tiles(self) -> list[TileConfig]:
+        """Tile shapes, in canonical enumeration order."""
+        return [
+            TileConfig(tm=tm, tn=tn, th=sp, tw=sp)
+            for tm, tn, sp in itertools.product(
+                self.tm_values, self.tn_values, self.spatial_values
+            )
+        ]
+
+    def _base_combos(self):
+        return itertools.product(
+            self.precisions,
+            self.arrays,
+            self.frequencies,
+            self.ddr_efficiencies,
+            self.if_resident_caps,
+            self.wt_resident_caps,
+        )
+
+    def bases(self) -> list[AcceleratorConfig]:
+        """Feasible base designs, in canonical enumeration order.
+
+        Names are deterministic functions of the axis values, so the
+        per-base ``sweep_key`` — and with it the warm-start cache —
+        is stable across runs.
+        """
+        tile0 = TileConfig(
+            tm=self.tm_values[0],
+            tn=self.tn_values[0],
+            th=self.spatial_values[0],
+            tw=self.spatial_values[0],
+        )
+        out: list[AcceleratorConfig] = []
+        for prec, array, freq, eff, if_cap, wt_cap in self._base_combos():
+            if array.dsp_slices(prec) > self.device.dsp_slices:
+                continue
+            out.append(
+                AcceleratorConfig(
+                    name=(
+                        f"space-{prec.name}-{array}"
+                        f"-f{freq / 1e6:g}mhz-e{eff:g}"
+                        f"-ri{if_cap}-rw{wt_cap}"
+                    ),
+                    precision=prec,
+                    array=array,
+                    tile=tile0,
+                    frequency=freq,
+                    device=self.device,
+                    ddr_efficiency=eff,
+                    if_resident_cap=if_cap,
+                    wt_resident_cap=wt_cap,
+                )
+            )
+        return out
+
+    def infeasible_bases(self) -> int:
+        """Axis combinations excluded by the device's DSP budget."""
+        return sum(
+            1
+            for prec, array, *_ in self._base_combos()
+            if array.dsp_slices(prec) > self.device.dsp_slices
+        )
+
+    def size(self) -> int:
+        """Candidate (base, tile) points, before any budget filtering."""
+        return len(self.bases()) * len(self.tiles())
+
+    def groups(self) -> list[tuple[AcceleratorConfig, list[TileConfig]]]:
+        """(base, candidate tiles) pairs in canonical order."""
+        tiles = self.tiles()
+        return [(base, tiles) for base in self.bases()]
+
+    def sample(self, n: int, seed: int = 0) -> "SampledSpace":
+        """A uniform random subset of ``n`` points (without replacement).
+
+        Sampling is deterministic in ``seed``, and the surviving tiles
+        of each base keep their canonical enumeration order, so pruned
+        and unpruned sweeps of the same sample stay comparable.
+        """
+        if n <= 0:
+            raise ConfigError("sample size must be positive", details={"n": n})
+        bases = self.bases()
+        tiles = self.tiles()
+        total = len(bases) * len(tiles)
+        n = min(n, total)
+        rng = random.Random(seed)
+        picks = sorted(rng.sample(range(total), n))
+        grouped: dict[int, list[TileConfig]] = {}
+        for p in picks:
+            grouped.setdefault(p // len(tiles), []).append(tiles[p % len(tiles)])
+        return SampledSpace(
+            groups_=[(bases[i], grouped[i]) for i in sorted(grouped)],
+            infeasible=self.infeasible_bases(),
+        )
+
+
+@dataclass
+class SampledSpace:
+    """An explicit (base, tiles) subset produced by :meth:`DesignSpace.sample`."""
+
+    groups_: list[tuple[AcceleratorConfig, list[TileConfig]]]
+    infeasible: int = 0
+
+    def size(self) -> int:
+        return sum(len(tiles) for _, tiles in self.groups_)
+
+    def groups(self) -> list[tuple[AcceleratorConfig, list[TileConfig]]]:
+        return self.groups_
+
+    def infeasible_bases(self) -> int:
+        return self.infeasible
+
+
+def small_space(device: FPGADevice = VU9P) -> DesignSpace:
+    """The ~2k-point space the CI ``dse-scaling`` job sweeps."""
+    return DesignSpace(
+        arrays=(
+            SystolicArray(rows=32, cols=16, simd=11),
+            SystolicArray(rows=16, cols=16, simd=8),
+            SystolicArray(rows=8, cols=8, simd=8),
+        ),
+        precisions=(INT16, INT8),
+        frequencies=(150e6, 190e6, 230e6),
+        ddr_efficiencies=(0.7, 1.0),
+        device=device,
+    )
+
+
+def large_space(device: FPGADevice = VU9P) -> DesignSpace:
+    """The exploded ~10^5-point space (ROADMAP open item 2).
+
+    Six array shapes x three precisions (FP32 only where five DSPs per
+    MAC still fit the device) x six clocks x four DDR efficiencies x two
+    input-residency options, times a 200-tile grid.
+    """
+    return DesignSpace(
+        arrays=(
+            SystolicArray(rows=32, cols=16, simd=11),
+            SystolicArray(rows=16, cols=16, simd=11),
+            SystolicArray(rows=32, cols=8, simd=11),
+            SystolicArray(rows=16, cols=16, simd=8),
+            SystolicArray(rows=16, cols=8, simd=8),
+            SystolicArray(rows=8, cols=8, simd=8),
+        ),
+        precisions=ALL_PRECISIONS,
+        frequencies=(120e6, 150e6, 180e6, 190e6, 220e6, 250e6),
+        ddr_efficiencies=(0.6, 0.7, 0.85, 1.0),
+        tm_values=(8, 16, 24, 32, 48, 64, 96, 128, 160, 192),
+        tn_values=(8, 16, 32, 64),
+        spatial_values=(7, 14, 28, 56, 112),
+        if_resident_caps=(0, 1 << 15),
+        device=device,
+    )
+
+
+@dataclass
+class SpaceResult:
+    """Outcome of one :func:`explore_space` sweep.
+
+    Attributes:
+        points: Scored design points, ascending UMM latency.  With
+            pruning on this omits the provably dominated points, but its
+            head — the best design and score — is bit-identical to an
+            unpruned sweep.
+        total_points: Budget-feasible (base, tile) points in the space.
+        scored_points: Points actually scored (or warm-started).
+        pruned_dominated: Points removed by ``tn`` tile dominance.
+        pruned_bounded: Points removed whole-base by the roofline bound.
+        infeasible_bases: Axis combinations excluded by the DSP budget.
+        bases_total: Feasible bases in the space.
+        bases_scored: Bases that reached scoring.
+        bases_pruned: Bases discarded entirely by the roofline bound.
+        stats: Aggregated :class:`~repro.perf.dse.WorkerStats` over every
+            per-base sweep (``points_pruned`` holds the pruned total).
+    """
+
+    points: list[DesignPoint]
+    total_points: int
+    scored_points: int
+    pruned_dominated: int
+    pruned_bounded: int
+    infeasible_bases: int
+    bases_total: int
+    bases_scored: int
+    bases_pruned: int
+    stats: WorkerStats = field(default_factory=WorkerStats)
+
+    @property
+    def pruned_points(self) -> int:
+        """All points discarded before scoring."""
+        return self.pruned_dominated + self.pruned_bounded
+
+    @property
+    def best(self) -> DesignPoint:
+        """The lowest-latency design in the space."""
+        return self.points[0]
+
+
+def _dominant_tiles(
+    tiles: list[TileConfig], element_bytes: int, budget: int
+) -> tuple[list[TileConfig], int, int]:
+    """Budget-filter then drop ``tn`` duplicates.
+
+    Returns (kept tiles, feasible count, dominated count).  The sweep
+    score never depends on ``tn``, so among feasible tiles sharing
+    ``(tm, th, tw)`` only the first-enumerated is kept — it is the one
+    a full stable-sorted sweep would rank first of the group anyway.
+    """
+    feasible = [
+        t for t in tiles if t.tile_buffer_bytes(element_bytes) <= budget
+    ]
+    kept: list[TileConfig] = []
+    seen: set[tuple[int, int, int]] = set()
+    for tile in feasible:
+        key = (tile.tm, tile.th, tile.tw)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(tile)
+    return kept, len(feasible), len(feasible) - len(kept)
+
+
+def _lower_bounds(
+    graph: "ComputationGraph",
+    prepped: list[tuple[int, "AcceleratorConfig", list[TileConfig]]],
+    sweep_pool: ScorerPool | None,
+    workers: int,
+    stats: WorkerStats,
+    scorers: dict[int, _SweepScorer],
+) -> dict[int, float]:
+    """Roofline floor per base, fanned out to the pool when one exists.
+
+    Characterising a base for its bound costs the same graph walk the
+    sweep itself pays, so on heavily pruned exploded spaces the bounds
+    are most of the total work.  With a pool the batches run in the
+    workers (warming their per-base scorer caches as a side effect);
+    without one — or if the pool fails mid-flight — the parent computes
+    the missing floors itself and keeps those scorers for the sweep.
+    The floats are identical either way, so pruning decisions are too.
+    """
+    bounds: dict[int, float] = {}
+    if sweep_pool is not None and workers > 1 and len(prepped) > 1:
+        try:
+            _, elapsed = sweep_pool.ensure()
+            stats.init_seconds += elapsed
+            per_batch = max(1, math.ceil(len(prepped) / (workers * 2)))
+            futures = []
+            for start in range(0, len(prepped), per_batch):
+                batch = prepped[start : start + per_batch]
+                futures.append((
+                    [idx for idx, _, _ in batch],
+                    sweep_pool.submit_bounds(
+                        [base for _, base, _ in batch],
+                        [
+                            accel_fingerprint(base, include_tile=False)
+                            for _, base, _ in batch
+                        ],
+                    ),
+                ))
+            for idxs, future in futures:
+                for idx, value in zip(idxs, future.result()):
+                    bounds[idx] = value
+        except Exception:
+            bounds.clear()  # broken pool: fall through to parent-side
+    for idx, base, _ in prepped:
+        if idx not in bounds:
+            scorer = _SweepScorer(graph, base)
+            scorers[idx] = scorer
+            bounds[idx] = scorer.lower_bound()
+    return bounds
+
+
+def explore_space(
+    graph: "ComputationGraph",
+    space: DesignSpace | SampledSpace,
+    tile_buffer_budget: int,
+    workers: int = 1,
+    prune: bool = True,
+    top: int | None = None,
+    chunk_timeout: float | None = None,
+    chunk_retries: int = 1,
+    stats: WorkerStats | None = None,
+    cache: "CompilationCache | None" = None,
+    pool: ScorerPool | None = None,
+    pool_mode: str = "keep",
+) -> SpaceResult:
+    """Sweep an exploded design space, pruning what cannot win.
+
+    Args:
+        graph: The DNN to optimise for.
+        space: A :class:`DesignSpace` (cartesian) or the result of
+            :meth:`DesignSpace.sample` (sampled mode).
+        tile_buffer_budget: Byte budget for the double-buffered tile
+            buffers, applied per base at its element width.
+        workers: Process count for scoring; every base shares one pool.
+        prune: Apply tile dominance and the roofline base bound.  The
+            best design and score are bit-identical either way; pruning
+            only skips provably worse points (all counted, never
+            silent).
+        top: Optionally truncate the returned points to the best ``top``.
+        chunk_timeout: Per-chunk deadline forwarded to each base sweep.
+        chunk_retries: Chunk retry budget forwarded to each base sweep.
+        stats: Optional aggregate :class:`~repro.perf.dse.WorkerStats`.
+        cache: Optional compilation cache; per-tile scores warm-start
+            under each base's ``sweep_key``.
+        pool: Explicit pool to score on (caller owns its lifetime).
+        pool_mode: ``"keep"`` (default) uses the process-wide persistent
+            pool; ``"fresh"`` builds a private pool and closes it before
+            returning.  Ignored when ``pool`` is given.
+
+    Returns:
+        A :class:`SpaceResult`; ``result.best`` is the space optimum.
+
+    Raises:
+        repro.errors.CapacityError: When no point in the space fits the
+            tile-buffer budget.
+        repro.errors.ConfigError: On ``workers < 1`` or an unknown
+            ``pool_mode``.
+    """
+    if workers < 1:
+        raise ConfigError("workers must be at least 1", details={"workers": workers})
+    if pool_mode not in ("keep", "fresh"):
+        raise ConfigError(
+            "pool_mode must be 'keep' or 'fresh'",
+            details={"pool_mode": pool_mode},
+        )
+    stats = stats if stats is not None else WorkerStats()
+    groups = space.groups()
+
+    # Per-base preparation: budget filter and tile dominance.
+    prepped: list[tuple[int, AcceleratorConfig, list[TileConfig]]] = []
+    total_points = 0
+    pruned_dominated = 0
+    for idx, (base, tiles) in enumerate(groups):
+        if prune:
+            kept, feasible, dominated = _dominant_tiles(
+                tiles, base.precision.bytes, tile_buffer_budget
+            )
+        else:
+            kept = [
+                t for t in tiles
+                if t.tile_buffer_bytes(base.precision.bytes) <= tile_buffer_budget
+            ]
+            feasible, dominated = len(kept), 0
+        total_points += feasible
+        pruned_dominated += dominated
+        if kept:
+            prepped.append((idx, base, kept))
+    if not prepped:
+        raise CapacityError(
+            f"no design point in the space fits a {tile_buffer_budget}-byte "
+            "tile-buffer budget",
+            details={"tile_buffer_budget": tile_buffer_budget},
+        )
+
+    pruned_bounded = 0
+    bases_pruned = 0
+    incumbent = float("inf")
+    per_base: dict[int, list[DesignPoint]] = {}
+    private_pool: ScorerPool | None = None
+    sweep_pool = pool
+    with obs.span(
+        "dse.space",
+        graph=graph.name,
+        bases=len(prepped),
+        points=total_points,
+        workers=workers,
+        prune=prune,
+    ):
+        try:
+            if sweep_pool is None and workers > 1:
+                if pool_mode == "fresh":
+                    private_pool = ScorerPool(graph, workers)
+                    sweep_pool = private_pool
+                else:
+                    sweep_pool = pool_mod.persistent_pool(graph, workers)
+            scorers: dict[int, _SweepScorer] = {}
+            bounds: dict[int, float] = {}
+            if prune:
+                bounds = _lower_bounds(
+                    graph, prepped, sweep_pool, workers, stats, scorers
+                )
+                # Most promising floors first maximises how early the
+                # incumbent tightens and how much the bound can discard.
+                order = sorted(prepped, key=lambda p: (bounds[p[0]], p[0]))
+            else:
+                order = prepped
+            for idx, base, kept in order:
+                if prune and bounds[idx] > incumbent:
+                    # Strictly above the incumbent: no tile on this base
+                    # can beat *or tie* the best already found.
+                    pruned_bounded += len(kept)
+                    bases_pruned += 1
+                    continue
+                base_stats = WorkerStats()
+                points = explore_designs(
+                    graph,
+                    base,
+                    tile_buffer_budget,
+                    tiles=kept,
+                    workers=workers,
+                    chunk_timeout=chunk_timeout,
+                    chunk_retries=chunk_retries,
+                    stats=base_stats,
+                    cache=cache,
+                    pool=sweep_pool,
+                    scorer=scorers.get(idx),
+                )
+                stats.absorb(base_stats)
+                per_base[idx] = points
+                incumbent = min(incumbent, points[0].umm_latency)
+        finally:
+            if private_pool is not None:
+                private_pool.close()
+        stats.points_pruned += pruned_dominated + pruned_bounded
+        obs.annotate(
+            "dse.pruned",
+            dominated=pruned_dominated,
+            bounded=pruned_bounded,
+            bases_pruned=bases_pruned,
+            scored=total_points - pruned_dominated - pruned_bounded,
+        )
+        if obs.enabled():
+            from repro.obs.metrics import registry
+
+            registry().counter("dse.points_pruned").inc(
+                pruned_dominated + pruned_bounded, graph=graph.name
+            )
+
+    # Reassemble in canonical base order before the final stable sort:
+    # ties across bases then resolve exactly as an unpruned sweep would.
+    merged: list[DesignPoint] = []
+    for idx in sorted(per_base):
+        merged.extend(per_base[idx])
+    merged.sort(key=lambda p: p.umm_latency)
+    scored_points = sum(len(points) for points in per_base.values())
+    return SpaceResult(
+        points=merged[:top] if top is not None else merged,
+        total_points=total_points,
+        scored_points=scored_points,
+        pruned_dominated=pruned_dominated,
+        pruned_bounded=pruned_bounded,
+        infeasible_bases=space.infeasible_bases(),
+        bases_total=len(groups),
+        bases_scored=len(per_base),
+        bases_pruned=bases_pruned,
+        stats=stats,
+    )

@@ -128,6 +128,36 @@ class TestCommands:
         assert "Tile DSE" in out
         assert "UMM" in out
 
+    def test_dse_space_output(self, capsys):
+        assert main(
+            ["dse", "googlenet", "--space", "small", "--sample", "64",
+             "--budget", "2", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Design-space DSE" in out
+        assert "pruned" in out  # pruning counts are never silent
+
+    def test_dse_space_no_prune_scores_everything(self, capsys):
+        assert main(
+            ["dse", "googlenet", "--space", "small", "--sample", "32",
+             "--budget", "2", "--no-prune", "--top", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 pruned" in out
+
+    def test_dse_pool_fresh(self, capsys):
+        from repro.perf import pool as pool_mod
+
+        pool_mod.close_pool()
+        assert main(
+            ["dse", "googlenet", "--workers", "2", "--pool", "fresh",
+             "--top", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pool (fresh)" in out
+        # The private pool was closed and never entered the registry.
+        assert pool_mod.active_pool() is None
+
     def test_cotune_output(self, capsys):
         assert main(["cotune", "googlenet"]) == 0
         out = capsys.readouterr().out

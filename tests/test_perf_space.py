@@ -1,0 +1,228 @@
+"""Tests for repro.perf.space: exploded design spaces and pruning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigError
+from repro.hw.precision import FP32, INT8, INT16
+from repro.perf.dse import WorkerStats, _SweepScorer, candidate_tiles
+from repro.perf.roofline import sweep_lower_bound
+from repro.perf.space import (
+    DesignSpace,
+    explore_space,
+    large_space,
+    small_space,
+)
+from repro.perf.systolic import SystolicArray
+
+from tests.conftest import build_chain, build_snippet, small_accel
+
+BUDGET = 2 * 2**20
+
+
+def _tiny_space(**overrides):
+    defaults = dict(
+        arrays=(SystolicArray(rows=16, cols=8, simd=8),),
+        precisions=(INT16,),
+        frequencies=(190e6,),
+        ddr_efficiencies=(0.7, 1.0),
+        tm_values=(16, 32),
+        tn_values=(16, 32),
+        spatial_values=(7, 14),
+    )
+    defaults.update(overrides)
+    return DesignSpace(**defaults)
+
+
+class TestDesignSpace:
+    def test_size_is_bases_times_tiles(self):
+        space = _tiny_space()
+        assert space.size() == len(space.bases()) * len(space.tiles())
+        assert space.size() == 2 * 8
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError, match="frequencies"):
+            _tiny_space(frequencies=())
+
+    def test_infeasible_precision_array_pairs_excluded(self):
+        # 5632 MACs at 5 DSPs/MAC far exceeds the VU9P's 6840 slices.
+        space = _tiny_space(
+            arrays=(SystolicArray(rows=32, cols=16, simd=11),),
+            precisions=(INT8, FP32),
+        )
+        # One infeasible (array, precision) pair x two DDR efficiencies.
+        assert space.infeasible_bases() == 2
+        assert all(b.precision is INT8 for b in space.bases())
+
+    def test_base_names_deterministic(self):
+        # Warm-start cache keys hash the name; it must be stable.
+        first = [b.name for b in _tiny_space().bases()]
+        second = [b.name for b in _tiny_space().bases()]
+        assert first == second
+        assert len(set(first)) == len(first)  # and unique per base
+
+    def test_presets_hit_their_scale(self):
+        assert 1_000 <= small_space().size() <= 5_000
+        assert 100_000 <= large_space().size() <= 1_000_000
+
+    def test_sample_is_deterministic_and_sized(self):
+        space = _tiny_space()
+        a = space.sample(10, seed=3)
+        b = space.sample(10, seed=3)
+        assert a.size() == b.size() == 10
+        assert [
+            (base.name, tiles) for base, tiles in a.groups()
+        ] == [(base.name, tiles) for base, tiles in b.groups()]
+
+    def test_sample_clamps_to_space(self):
+        space = _tiny_space()
+        assert space.sample(10_000).size() == space.size()
+
+    def test_sample_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            _tiny_space().sample(0)
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("graph_builder", [build_chain, build_snippet])
+    def test_bounds_every_tile(self, graph_builder):
+        graph = graph_builder()
+        base = small_accel(if_resident_cap=1 << 14, wt_resident_cap=1 << 13)
+        scorer = _SweepScorer(graph, base)
+        floor = sweep_lower_bound(graph, base, scorer=scorer)
+        for tile in candidate_tiles():
+            assert floor <= scorer.score(tile)
+
+    def test_scorer_reused_when_given(self):
+        graph = build_chain()
+        base = small_accel()
+        scorer = _SweepScorer(graph, base)
+        assert sweep_lower_bound(graph, base, scorer=scorer) == (
+            sweep_lower_bound(graph, base)
+        )
+
+
+class TestExploreSpace:
+    def test_pruned_best_identical_to_full(self):
+        graph = build_chain()
+        space = _tiny_space()
+        pruned = explore_space(graph, space, BUDGET, prune=True)
+        full = explore_space(graph, space, BUDGET, prune=False)
+        assert pruned.best.accel == full.best.accel
+        assert pruned.best.umm_latency == full.best.umm_latency
+        assert pruned.best.tile_buffer_bytes == full.best.tile_buffer_bytes
+
+    def test_counts_add_up(self):
+        result = explore_space(build_chain(), _tiny_space(), BUDGET)
+        assert (
+            result.scored_points
+            + result.pruned_dominated
+            + result.pruned_bounded
+            == result.total_points
+        )
+        assert result.bases_scored + result.bases_pruned <= result.bases_total
+        assert len(result.points) == result.scored_points
+        assert result.stats.points_pruned == result.pruned_points
+
+    def test_unpruned_scores_everything(self):
+        result = explore_space(build_chain(), _tiny_space(), BUDGET, prune=False)
+        assert result.pruned_points == 0
+        assert result.scored_points == result.total_points
+
+    def test_points_sorted_ascending(self):
+        result = explore_space(build_chain(), _tiny_space(), BUDGET)
+        latencies = [p.umm_latency for p in result.points]
+        assert latencies == sorted(latencies)
+
+    def test_top_truncates_points_only(self):
+        full = explore_space(build_chain(), _tiny_space(), BUDGET)
+        capped = explore_space(build_chain(), _tiny_space(), BUDGET, top=3)
+        assert capped.points == full.points[:3]
+        assert capped.scored_points == full.scored_points
+
+    def test_sampled_space_swept_like_cartesian(self):
+        graph = build_chain()
+        sample = _tiny_space().sample(12, seed=7)
+        pruned = explore_space(graph, sample, BUDGET, prune=True)
+        full = explore_space(graph, sample, BUDGET, prune=False)
+        assert pruned.best.accel == full.best.accel
+        assert pruned.best.umm_latency == full.best.umm_latency
+
+    def test_workers_match_serial(self):
+        graph = build_chain()
+        space = _tiny_space()
+        serial = explore_space(graph, space, BUDGET)
+        parallel = explore_space(graph, space, BUDGET, workers=2)
+        key = lambda r: [(p.accel.name, p.accel.tile, p.umm_latency) for p in r.points]
+        assert key(parallel) == key(serial)
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(CapacityError):
+            explore_space(build_chain(), _tiny_space(), 16)
+
+    def test_invalid_workers_and_pool_mode(self):
+        with pytest.raises(ConfigError):
+            explore_space(build_chain(), _tiny_space(), BUDGET, workers=0)
+        with pytest.raises(ConfigError):
+            explore_space(build_chain(), _tiny_space(), BUDGET, pool_mode="bad")
+
+    def test_warm_start_skips_seen_points(self):
+        from repro.cache import CompilationCache
+
+        graph = build_chain()
+        space = _tiny_space()
+        cache = CompilationCache(None)  # in-memory
+        cold = explore_space(graph, space, BUDGET, cache=cache)
+        warm_stats = WorkerStats()
+        warm = explore_space(graph, space, BUDGET, cache=cache, stats=warm_stats)
+        assert warm.best.accel == cold.best.accel
+        assert warm.best.umm_latency == cold.best.umm_latency
+
+
+#: Axes for the randomised spaces of the pruning-soundness property.
+_ARRAY_POOL = (
+    SystolicArray(rows=16, cols=8, simd=8),
+    SystolicArray(rows=8, cols=8, simd=8),
+    SystolicArray(rows=16, cols=16, simd=8),
+)
+
+
+@st.composite
+def _random_spaces(draw):
+    subset = lambda values, n: tuple(
+        draw(
+            st.lists(
+                st.sampled_from(values), min_size=1, max_size=n, unique=True
+            )
+        )
+    )
+    return DesignSpace(
+        arrays=subset(_ARRAY_POOL, 2),
+        precisions=subset((INT8, INT16), 2),
+        frequencies=subset((150e6, 190e6, 230e6), 2),
+        ddr_efficiencies=subset((0.6, 0.8, 1.0), 2),
+        tm_values=subset((8, 16, 32, 64), 3),
+        tn_values=subset((8, 16, 32), 2),
+        spatial_values=subset((7, 14, 28), 2),
+        if_resident_caps=subset((0, 1 << 14), 2),
+    )
+
+
+class TestPruningSoundnessProperty:
+    """Pruning never removes the true argmax (ISSUE 6 property test)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(space=_random_spaces(), budget_kb=st.integers(64, 4096))
+    def test_best_of_pruned_equals_best_of_full(self, space, budget_kb):
+        graph = build_chain(num_convs=2)
+        budget = budget_kb * 1024
+        try:
+            full = explore_space(graph, space, budget, prune=False)
+        except CapacityError:
+            with pytest.raises(CapacityError):
+                explore_space(graph, space, budget, prune=True)
+            return
+        pruned = explore_space(graph, space, budget, prune=True)
+        assert pruned.best.accel == full.best.accel
+        assert pruned.best.umm_latency == full.best.umm_latency
