@@ -22,6 +22,9 @@ _OP_COLORS = {
     OpType.FC: "lightyellow",
     OpType.ELTWISE: "lightpink",
     OpType.CONCAT: "lightgreen",
+    OpType.GEMM: "lightyellow",
+    OpType.ATTENTION: "lightsalmon",
+    OpType.NORM: "lavender",
 }
 
 

@@ -155,10 +155,15 @@ def run_comparison(
     :func:`~repro.lcmm.framework.run_lcmm` (invariant checking after each
     pass, the degradation chain on pipeline failure, and the optional
     content-addressed compilation cache).
+
+    Models outside :data:`BENCHMARKS` (the rest of the CNN zoo and the
+    transformers) evaluate on the resnet152 reference design — the same
+    convention as the golden-fingerprint suite.
     """
     graph = graph or get_model(model_name)
-    accel_umm = reference_design(model_name, precision, "umm")
-    accel_lcmm = reference_design(model_name, precision, "lcmm")
+    design_key = model_name if model_name in BENCHMARKS else "resnet152"
+    accel_umm = reference_design(design_key, precision, "umm")
+    accel_lcmm = reference_design(design_key, precision, "lcmm")
     umm_model = LatencyModel(graph, accel_umm)
     lcmm_model = LatencyModel(graph, accel_lcmm)
     umm = run_umm(graph, accel_umm, umm_model)

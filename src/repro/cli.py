@@ -43,7 +43,7 @@ from repro.analysis.report import format_table
 from repro.errors import ReproError
 from repro.hw.precision import precision_by_name
 from repro.ir.graph import ComputationGraph
-from repro.models.zoo import get_model
+from repro.models.zoo import get_model, list_models
 
 
 def _load_model(name: str) -> ComputationGraph:
@@ -645,7 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig8", help="GoogLeNet per-block breakdown").set_defaults(func=_cmd_fig8)
 
     prun = sub.add_parser("run", help="one design pair in detail")
-    prun.add_argument("model", choices=list(BENCHMARKS) + ["resnet50", "alexnet", "vgg16"])
+    prun.add_argument("model", choices=list_models())
     prun.add_argument("--precision", default="int8")
     prun.add_argument(
         "--profile-passes",

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # avoid import cycles; these are type-only imports
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "LEGACY_CACHE_SCHEMA_VERSION",
     "accel_fingerprint",
     "compile_key",
     "fingerprint",
@@ -53,7 +54,30 @@ __all__ = [
 #: a cached artifact changes — a new ``LCMMResult`` field that affects
 #: results, a latency-model fix, a serialization change — and every
 #: previously written entry silently becomes a miss.
-CACHE_SCHEMA_VERSION = 1
+#:
+#: Version 2 marks the op-generic IR (GEMM / attention / norm layer
+#: kinds and the systolic GEMM latency model).  The conv-family op set
+#: compiles bit-identically under both IRs, so keys for graphs built
+#: only from legacy ops keep hashing with
+#: :data:`LEGACY_CACHE_SCHEMA_VERSION` — warm caches built before the
+#: refactor stay warm (see :func:`_schema_for`); only graphs that
+#: actually use the new kinds carry the bumped tag.
+CACHE_SCHEMA_VERSION = 2
+
+#: Schema tag of the conv-only era, still used for conv-family graphs.
+LEGACY_CACHE_SCHEMA_VERSION = 1
+
+
+def _schema_for(graph: "ComputationGraph") -> int:
+    """Cache schema version a graph's keys hash under (see above)."""
+    from repro.io.serialize import (  # deferred: io imports lcmm
+        GRAPH_FORMAT_VERSION,
+        graph_format_version,
+    )
+
+    if graph_format_version(graph) == GRAPH_FORMAT_VERSION:
+        return LEGACY_CACHE_SCHEMA_VERSION
+    return CACHE_SCHEMA_VERSION
 
 
 def _digest(payload: Any) -> str:
@@ -216,7 +240,7 @@ def compile_key(
     """
     return _digest(
         {
-            "schema": CACHE_SCHEMA_VERSION,
+            "schema": _schema_for(graph),
             "kind": "compile",
             "graph": graph_fingerprint(graph),
             "accel": accel_fingerprint(accel),
@@ -234,7 +258,7 @@ def sweep_key(graph: "ComputationGraph", base: "AcceleratorConfig") -> str:
     """
     return _digest(
         {
-            "schema": CACHE_SCHEMA_VERSION,
+            "schema": _schema_for(graph),
             "kind": "tile-sweep",
             "graph": graph_fingerprint(graph),
             "accel": accel_fingerprint(base, include_tile=False),

@@ -8,21 +8,42 @@ from typing import Any
 
 from repro.ir.graph import ComputationGraph
 from repro.ir.layer import (
+    Attention,
     Concat,
     Conv2D,
     DepthwiseConv2D,
     EltwiseAdd,
     FullyConnected,
+    Gemm,
     InputLayer,
     Layer,
+    LayerNorm,
+    OpType,
     PoolMode,
     Pooling,
 )
 from repro.ir.tensor import FeatureMapShape
 from repro.lcmm.framework import LCMMResult
 
-#: Format tag written into every serialized graph.
+#: Format tag written into serialized graphs of the original conv-family
+#: op set.  Graphs built only from these ops serialize byte-identically
+#: to the pre-GEMM era, which keeps their fingerprints — and therefore
+#: every warm compilation-cache key — stable across the IR refactor.
 GRAPH_FORMAT_VERSION = 1
+
+#: Format tag for graphs that use the op-generic extensions (GEMM,
+#: attention, norm).  The loader accepts both.
+GRAPH_FORMAT_VERSION_V2 = 2
+
+#: Ops that force the v2 format.
+_V2_OPS = frozenset({OpType.GEMM, OpType.ATTENTION, OpType.NORM})
+
+
+def graph_format_version(graph: ComputationGraph) -> int:
+    """The format version a graph serializes under (see the tags above)."""
+    if any(layer.op_type in _V2_OPS for layer in graph.layers()):
+        return GRAPH_FORMAT_VERSION_V2
+    return GRAPH_FORMAT_VERSION
 
 
 def _layer_to_dict(layer: Layer) -> dict[str, Any]:
@@ -57,7 +78,11 @@ def _layer_to_dict(layer: Layer) -> dict[str, Any]:
         )
     elif isinstance(layer, FullyConnected):
         base["out_features"] = layer.out_features
-    # EltwiseAdd / Concat carry nothing beyond name + inputs.
+    elif isinstance(layer, Gemm):
+        base["out_features"] = layer.out_features
+    elif isinstance(layer, Attention):
+        base["num_heads"] = layer.num_heads
+    # EltwiseAdd / Concat / LayerNorm carry nothing beyond name + inputs.
     return base
 
 
@@ -97,6 +122,12 @@ def _layer_from_dict(data: dict[str, Any]) -> Layer:
         )
     if op == "fc":
         return FullyConnected(name=name, inputs=inputs, out_features=data["out_features"])
+    if op == "gemm":
+        return Gemm(name=name, inputs=inputs, out_features=data["out_features"])
+    if op == "attention":
+        return Attention(name=name, inputs=inputs, num_heads=data["num_heads"])
+    if op == "norm":
+        return LayerNorm(name=name, inputs=inputs)
     if op == "eltwise":
         return EltwiseAdd(name=name, inputs=inputs)
     if op == "concat":
@@ -107,7 +138,7 @@ def _layer_from_dict(data: dict[str, Any]) -> Layer:
 def graph_to_dict(graph: ComputationGraph) -> dict[str, Any]:
     """Serialize a computation graph to a JSON-stable dictionary."""
     return {
-        "format": GRAPH_FORMAT_VERSION,
+        "format": graph_format_version(graph),
         "name": graph.name,
         "blocks": {k: list(v) for k, v in graph.blocks.items()},
         "layers": [_layer_to_dict(layer) for layer in graph.layers()],
@@ -121,7 +152,7 @@ def graph_from_dict(data: dict[str, Any]) -> ComputationGraph:
         ValueError: On unknown format versions or op types.
     """
     version = data.get("format")
-    if version != GRAPH_FORMAT_VERSION:
+    if version not in (GRAPH_FORMAT_VERSION, GRAPH_FORMAT_VERSION_V2):
         raise ValueError(f"unsupported graph format version {version!r}")
     graph = ComputationGraph(name=data["name"])
     for layer_data in data["layers"]:

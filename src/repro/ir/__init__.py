@@ -15,12 +15,17 @@ from repro.ir.tensor import (
     WeightTensor,
 )
 from repro.ir.layer import (
+    Attention,
+    ComputeKind,
     Concat,
     Conv2D,
     EltwiseAdd,
     FullyConnected,
+    Gemm,
+    GemmDims,
     InputLayer,
     Layer,
+    LayerNorm,
     Pooling,
 )
 from repro.ir.graph import ComputationGraph, GraphValidationError
@@ -32,10 +37,15 @@ __all__ = [
     "FeatureTensor",
     "WeightTensor",
     "Layer",
+    "ComputeKind",
+    "GemmDims",
     "InputLayer",
     "Conv2D",
     "Pooling",
     "FullyConnected",
+    "Gemm",
+    "Attention",
+    "LayerNorm",
     "EltwiseAdd",
     "Concat",
     "ComputationGraph",

@@ -209,7 +209,7 @@ class ComputationGraph:
         return sources
 
     def weight_tensors(self) -> list[WeightTensor]:
-        """One weight tensor per conv/FC layer, in schedule order."""
+        """One weight tensor per weighted layer (conv/FC/GEMM/attention)."""
         tensors = []
         for name, lyr in self._layers.items():
             shape = lyr.weight_shape
@@ -230,9 +230,13 @@ class ComputationGraph:
         """Total parameter footprint in bytes."""
         return sum(t.bytes(element_bytes) for t in self.weight_tensors())
 
-    def conv_layers(self) -> list[str]:
-        """Names of conv and FC layers (the ones with weights), in order."""
+    def weighted_layers(self) -> list[str]:
+        """Names of layers that read a weight tensor, in order."""
         return [name for name, lyr in self._layers.items() if lyr.has_weights]
+
+    #: Historical name from the conv-only era; the set was always
+    #: "layers with weights", which now includes GEMM/attention nodes.
+    conv_layers = weighted_layers
 
     def validate(self) -> None:
         """Full structural validation.

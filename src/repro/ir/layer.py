@@ -2,11 +2,18 @@
 
 Each layer knows how to infer its output feature-map shape from its input
 shapes and how to count its multiply-accumulate operations.  Convolutions
-dominate both computation and storage in the evaluated models (Sec. 2.1 of
-the paper), so they carry the full loop-nest description
-``(M, C, H, W, Kh, Kw)`` consumed by the performance model.  Pooling and
+dominate both computation and storage in the paper's evaluated models
+(Sec. 2.1), so they carry the full loop-nest description
+``(M, C, H, W, Kh, Kw)`` consumed by the performance model; GEMM-family
+layers (matrix multiply, attention) carry the ``(B, M, N, P)`` description
+the systolic GEMM model consumes instead.  Pooling, normalisation and
 element-wise layers move data but perform negligible arithmetic; concat is
 realised by address steering in the accelerator and is free.
+
+Downstream consumers dispatch on :class:`ComputeKind`, not on concrete
+classes — a new layer only needs a kind, the three shape/cost contracts
+(``infer_output_shape`` / ``macs`` / ``weight_shape``) and, for GEMM-kind
+ops, ``gemm_dims()``.
 """
 
 from __future__ import annotations
@@ -26,9 +33,70 @@ class OpType(str, enum.Enum):
     FC = "fc"
     ELTWISE = "eltwise"
     CONCAT = "concat"
+    GEMM = "gemm"
+    ATTENTION = "attention"
+    NORM = "norm"
 
     def __str__(self) -> str:
         return self.value
+
+
+class ComputeKind(str, enum.Enum):
+    """How the accelerator executes a layer — the dispatch axis of the
+    latency model, the tile simulator and the DSE sweep scorer.
+
+    ``DATA`` nodes (input, concat) are free; everything else maps to one
+    of the datapath templates.  ``GEMM`` covers both standalone matrix
+    multiplies and fully-connected classifiers (the latter ride the conv
+    datapath for latency, see :class:`FullyConnected`); ``ATTENTION`` is
+    a fused block of composed GEMMs.
+    """
+
+    DATA = "data"
+    CONV = "conv"
+    DEPTHWISE = "depthwise"
+    POOL = "pool"
+    ELTWISE = "eltwise"
+    GEMM = "gemm"
+    ATTENTION = "attention"
+    NORM = "norm"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class GemmDims:
+    """Loop bounds of one (possibly batched) matrix multiply.
+
+    The operation is ``out[b, m, p] = sum_n in[b, m, n] * w[b, n, p]``;
+    for layer weights the batch dimension broadcasts over a single weight
+    matrix.  These are the dimensions the systolic GEMM cycle model
+    (``perf.systolic.gemm_compute_cycles``) consumes.
+
+    Attributes:
+        batch: Independent matrix multiplies (attention heads).
+        m: Output rows (sequence/token positions).
+        n: Reduction depth (input features).
+        p: Output columns (output features).
+    """
+
+    batch: int
+    m: int
+    n: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.m, self.n, self.p) <= 0:
+            raise ValueError(f"gemm dimensions must be positive, got {self}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the multiply."""
+        return self.batch * self.m * self.n * self.p
+
+    def __str__(self) -> str:
+        return f"[{self.batch}]{self.m}x{self.n}x{self.p}"
 
 
 class PoolMode(str, enum.Enum):
@@ -63,6 +131,10 @@ class Layer:
 
     #: Overridden per subclass.
     op_type: OpType = field(default=OpType.INPUT, init=False, repr=False)
+
+    #: Datapath the layer executes on; overridden per subclass (plain class
+    #: attribute so dataclass machinery and serialization ignore it).
+    compute_kind = ComputeKind.DATA
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -130,6 +202,8 @@ class Conv2D(Layer):
     #: Filled by the graph when shapes are resolved; needed for weight_shape.
     in_channels: int = field(default=0, repr=False)
 
+    compute_kind = ComputeKind.CONV
+
     def __post_init__(self) -> None:
         super().__post_init__()
         self.op_type = OpType.CONV
@@ -191,6 +265,8 @@ class DepthwiseConv2D(Layer):
     #: Filled by shape inference.
     channels: int = field(default=0, repr=False)
 
+    compute_kind = ComputeKind.DEPTHWISE
+
     def __post_init__(self) -> None:
         super().__post_init__()
         self.op_type = OpType.CONV
@@ -233,6 +309,8 @@ class Pooling(Layer):
     #: Global pooling collapses H x W to 1 x 1 regardless of kernel.
     global_pool: bool = False
 
+    compute_kind = ComputeKind.POOL
+
     def __post_init__(self) -> None:
         super().__post_init__()
         self.op_type = OpType.POOL
@@ -251,24 +329,47 @@ class Pooling(Layer):
 
 
 @dataclass
-class FullyConnected(Layer):
-    """Fully-connected layer, modelled as a 1x1 convolution on 1x1 spatial."""
+class Gemm(Layer):
+    """Dense matrix multiply over a token sequence.
+
+    The input feature map is read as an ``M x N`` activation matrix with
+    ``M = height * width`` token positions and ``N = channels`` features
+    per token; the layer multiplies it by an ``N x P`` weight matrix
+    (``P = out_features``) and emits a ``P x height x width`` feature map,
+    keeping the sequence laid out spatially so eltwise/norm layers and the
+    buffer-allocation machinery see ordinary feature tensors.
+
+    Attributes:
+        out_features: Output features per token (P).
+    """
 
     out_features: int = 0
+    #: Filled by shape inference: reduction depth N and token rows M.
     in_features: int = field(default=0, repr=False)
+    rows: int = field(default=0, repr=False)
+
+    compute_kind = ComputeKind.GEMM
+    #: Error-message tag, overridden by :class:`FullyConnected`.
+    _label = "gemm"
+    #: When True, latency characterisation routes the node through the
+    #: conv datapath (``effective_macs`` padding model, unit reloads)
+    #: instead of the systolic GEMM tile schedule.  The paper's
+    #: accelerator runs the CNN classifier head that way.
+    conv_datapath = False
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        self.op_type = OpType.FC
+        self.op_type = OpType.GEMM
         if self.out_features <= 0:
-            raise ValueError(f"fc {self.name!r}: out_features must be positive")
+            raise ValueError(f"{self._label} {self.name!r}: out_features must be positive")
         if len(self.inputs) != 1:
-            raise ValueError(f"fc {self.name!r} must have exactly one input")
+            raise ValueError(f"{self._label} {self.name!r} must have exactly one input")
 
     def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
         (shape,) = input_shapes
-        self.in_features = shape.volume
-        return FeatureMapShape(self.out_features, 1, 1)
+        self.in_features = shape.channels
+        self.rows = shape.height * shape.width
+        return FeatureMapShape(self.out_features, shape.height, shape.width)
 
     def macs(self, input_shapes: list[FeatureMapShape]) -> int:
         (shape,) = input_shapes
@@ -277,13 +378,150 @@ class FullyConnected(Layer):
     @property
     def weight_shape(self) -> WeightShape | None:
         if self.in_features <= 0:
-            raise RuntimeError(f"fc {self.name!r}: weight shape queried before shape inference")
+            raise RuntimeError(
+                f"{self._label} {self.name!r}: weight shape queried before shape inference"
+            )
         return WeightShape(self.out_features, self.in_features, 1, 1)
+
+    def gemm_dims(self) -> GemmDims:
+        """The (B, M, N, P) loop bounds of this node's multiply."""
+        if self.in_features <= 0 or self.rows <= 0:
+            raise RuntimeError(
+                f"{self._label} {self.name!r}: gemm dims queried before shape inference"
+            )
+        return GemmDims(batch=1, m=self.rows, n=self.in_features, p=self.out_features)
+
+
+@dataclass
+class FullyConnected(Gemm):
+    """Fully-connected classifier head: a GEMM over one flattened token.
+
+    Flattens the whole input feature map into a single ``1 x volume`` row
+    (``M = 1``, ``N = volume``), so MACs and weight bytes are identical to
+    the historical 1x1-convolution model; latency characterisation keeps
+    routing it through the conv datapath (``conv_datapath``), which the
+    paper's accelerator uses for classifier layers.
+    """
+
+    _label = "fc"
+    conv_datapath = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.FC
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        (shape,) = input_shapes
+        self.in_features = shape.volume
+        self.rows = 1
+        return FeatureMapShape(self.out_features, 1, 1)
+
+
+@dataclass
+class Attention(Layer):
+    """Multi-head self-attention block, executed as composed GEMMs.
+
+    Reads one feature map interpreted as a token sequence (``S = height *
+    width`` tokens of ``D = channels`` features) and performs the four
+    projections of standard multi-head attention — fused QKV, per-head
+    score (``Q K^T``), per-head context (``softmax(scores) V``) and the
+    output projection — producing a same-shaped feature map.  Softmax and
+    the attention intermediates (Q/K/V, score matrices) stay in the tile
+    buffers between the composed GEMMs (fused-attention execution), so the
+    node exposes a single combined ``4 D x D`` weight tensor and single
+    input/output streams to the allocator.
+
+    Attributes:
+        num_heads: Attention heads; must divide the model dimension.
+    """
+
+    num_heads: int = 1
+    #: Filled by shape inference: model dimension D and sequence length S.
+    d_model: int = field(default=0, repr=False)
+    seq: int = field(default=0, repr=False)
+
+    compute_kind = ComputeKind.ATTENTION
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.ATTENTION
+        if self.num_heads <= 0:
+            raise ValueError(f"attention {self.name!r}: num_heads must be positive")
+        if len(self.inputs) != 1:
+            raise ValueError(f"attention {self.name!r} must have exactly one input")
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        (shape,) = input_shapes
+        if shape.channels % self.num_heads != 0:
+            raise ValueError(
+                f"attention {self.name!r}: d_model {shape.channels} not divisible "
+                f"by num_heads {self.num_heads}"
+            )
+        self.d_model = shape.channels
+        self.seq = shape.height * shape.width
+        return shape
+
+    def macs(self, input_shapes: list[FeatureMapShape]) -> int:
+        (shape,) = input_shapes
+        s, d = shape.height * shape.width, shape.channels
+        # QKV (3SD^2) + output projection (SD^2) + scores (S^2 D) + context (S^2 D).
+        return 4 * s * d * d + 2 * s * s * d
+
+    @property
+    def weight_shape(self) -> WeightShape | None:
+        if self.d_model <= 0:
+            raise RuntimeError(
+                f"attention {self.name!r}: weight shape queried before shape inference"
+            )
+        # W_Q, W_K, W_V and W_O, each D x D, streamed as one fused tensor.
+        return WeightShape(4 * self.d_model, self.d_model, 1, 1)
+
+    def gemm_dims(self) -> tuple[GemmDims, ...]:
+        """The composed multiplies: (qkv, scores, context, projection)."""
+        if self.d_model <= 0 or self.seq <= 0:
+            raise RuntimeError(
+                f"attention {self.name!r}: gemm dims queried before shape inference"
+            )
+        head = self.d_model // self.num_heads
+        return (
+            GemmDims(batch=1, m=self.seq, n=self.d_model, p=3 * self.d_model),
+            GemmDims(batch=self.num_heads, m=self.seq, n=head, p=self.seq),
+            GemmDims(batch=self.num_heads, m=self.seq, n=self.seq, p=head),
+            GemmDims(batch=1, m=self.seq, n=self.d_model, p=self.d_model),
+        )
+
+
+@dataclass
+class LayerNorm(Layer):
+    """Layer normalisation over the channel dimension of each token.
+
+    Two read passes over the data (statistics, then normalise) and
+    negligible arithmetic per element; the per-channel scale/shift
+    parameters (2D elements) are folded into the normalise pass and far
+    too small to matter for the byte accounting, so the node carries no
+    weight tensor.  Shape-preserving, like eltwise — and like eltwise it
+    is strongly memory bound, which is what makes transformer graphs
+    profitable territory for feature pinning.
+    """
+
+    compute_kind = ComputeKind.NORM
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.op_type = OpType.NORM
+        if len(self.inputs) != 1:
+            raise ValueError(f"norm {self.name!r} must have exactly one input")
+
+    def infer_output_shape(self, input_shapes: list[FeatureMapShape]) -> FeatureMapShape:
+        (shape,) = input_shapes
+        return shape
 
 
 @dataclass
 class EltwiseAdd(Layer):
     """Element-wise addition (residual shortcut join in ResNet)."""
+
+    compute_kind = ComputeKind.ELTWISE
 
     def __post_init__(self) -> None:
         super().__post_init__()

@@ -9,7 +9,15 @@ in the paper's comparison set does.
 from __future__ import annotations
 
 from repro.ir.graph import ComputationGraph
-from repro.ir.layer import Conv2D, Pooling, PoolMode
+from repro.ir.layer import (
+    Attention,
+    Conv2D,
+    EltwiseAdd,
+    Gemm,
+    LayerNorm,
+    Pooling,
+    PoolMode,
+)
 
 
 def same_padding(kernel: tuple[int, int]) -> tuple[int, int]:
@@ -110,4 +118,35 @@ def global_avg_pool(graph: ComputationGraph, name: str, src: str) -> str:
     graph.add(
         Pooling(name=name, inputs=(src,), mode=PoolMode.AVG, global_pool=True)
     )
+    return name
+
+
+# ----------------------------------------------------------------------
+# Transformer-block helpers
+# ----------------------------------------------------------------------
+# GELU/activation is folded into the preceding GEMM, exactly as ReLU is
+# folded into convolutions above.
+
+
+def gemm(graph: ComputationGraph, name: str, src: str, out_features: int) -> str:
+    """Add a token-wise dense (GEMM) node and return its name."""
+    graph.add(Gemm(name=name, inputs=(src,), out_features=out_features))
+    return name
+
+
+def attention(graph: ComputationGraph, name: str, src: str, num_heads: int) -> str:
+    """Add a fused multi-head self-attention node and return its name."""
+    graph.add(Attention(name=name, inputs=(src,), num_heads=num_heads))
+    return name
+
+
+def layer_norm(graph: ComputationGraph, name: str, src: str) -> str:
+    """Add a layer-normalisation node and return its name."""
+    graph.add(LayerNorm(name=name, inputs=(src,)))
+    return name
+
+
+def add(graph: ComputationGraph, name: str, a: str, b: str) -> str:
+    """Add a residual (element-wise add) node and return its name."""
+    graph.add(EltwiseAdd(name=name, inputs=(a, b)))
     return name

@@ -1,0 +1,110 @@
+"""Transformer zoo models: BERT-base and ViT-B/16.
+
+The second workload family of the reproduction.  Token sequences are laid
+out spatially in the feature-map IR — ``channels`` is the model dimension
+and ``height x width`` the sequence — so the whole LCMM machinery
+(feature interference, weight prefetch, DNNK, splitting) operates on
+transformer graphs exactly as on CNNs.
+
+Where CNN activations dwarf their conv kernels, transformer weight
+matrices dwarf their activations (each BERT encoder layer carries ~7M
+parameters against ~0.3MB of hidden state at int8), so on these graphs
+the allocator's decisions shift from feature pinning toward the
+weight-streaming regime: which matrices stay resident, which prefetch,
+and which stream every time.
+
+Modelling choices, mirroring the accelerator conventions of the CNN zoo:
+
+* Embedding lookup/positional encoding are host-side table reads, not
+  accelerator work, so BERT's entry point is the post-embedding hidden
+  state (as the CNN builders start at the input image).
+* GELU folds into the preceding GEMM; LayerNorm scale/shift folds into
+  the normalise pass (see :class:`repro.ir.layer.LayerNorm`).
+* ViT uses global-average-pool feature aggregation before the classifier
+  instead of a class token — the GAP-ViT variant — because a 197th token
+  would break the spatial sequence layout for a <0.5% cost difference.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import ComputationGraph
+from repro.ir.layer import FullyConnected, InputLayer
+from repro.ir.tensor import FeatureMapShape
+from repro.models.common import add, attention, conv, gemm, global_avg_pool, layer_norm
+
+
+def _encoder_block(
+    graph: ComputationGraph,
+    prefix: str,
+    src: str,
+    num_heads: int,
+    mlp_dim: int,
+    d_model: int,
+    pre_norm: bool,
+) -> str:
+    """One transformer encoder block; returns the output node name.
+
+    ``pre_norm=False`` is the original BERT ordering (sublayer -> add ->
+    norm), ``pre_norm=True`` the ViT ordering (norm -> sublayer -> add).
+    """
+    graph.begin_block(prefix)
+    if pre_norm:
+        ln1 = layer_norm(graph, f"{prefix}_ln1", src)
+        attn = attention(graph, f"{prefix}_attn", ln1, num_heads)
+        res1 = add(graph, f"{prefix}_attn_add", src, attn)
+        ln2 = layer_norm(graph, f"{prefix}_ln2", res1)
+        fc1 = gemm(graph, f"{prefix}_mlp_fc1", ln2, mlp_dim)
+        fc2 = gemm(graph, f"{prefix}_mlp_fc2", fc1, d_model)
+        out = add(graph, f"{prefix}_mlp_add", res1, fc2)
+    else:
+        attn = attention(graph, f"{prefix}_attn", src, num_heads)
+        res1 = add(graph, f"{prefix}_attn_add", src, attn)
+        ln1 = layer_norm(graph, f"{prefix}_ln1", res1)
+        fc1 = gemm(graph, f"{prefix}_mlp_fc1", ln1, mlp_dim)
+        fc2 = gemm(graph, f"{prefix}_mlp_fc2", fc1, d_model)
+        res2 = add(graph, f"{prefix}_mlp_add", ln1, fc2)
+        out = layer_norm(graph, f"{prefix}_ln2", res2)
+    graph.end_block()
+    return out
+
+
+def build_bert_base(seq_len: int = 384) -> ComputationGraph:
+    """BERT-base encoder: 12 post-norm blocks, d=768, h=12, MLP 3072.
+
+    The default sequence length (384) is the SQuAD fine-tuning setting.
+    ~86M encoder parameters; no task head (those are per-task and tiny).
+    """
+    g = ComputationGraph("bert_base")
+    g.add(
+        InputLayer(
+            name="embeddings", shape=FeatureMapShape(channels=768, height=seq_len, width=1)
+        )
+    )
+    node = "embeddings"
+    for i in range(12):
+        node = _encoder_block(
+            g, f"enc{i}", node, num_heads=12, mlp_dim=3072, d_model=768, pre_norm=False
+        )
+    g.validate()
+    return g
+
+
+def build_vit_b16(image: int = 224) -> ComputationGraph:
+    """ViT-B/16: conv patch embedding, 12 pre-norm blocks, GAP classifier.
+
+    A 16x16/stride-16 convolution embeds the image into a 14x14 grid of
+    768-dim patch tokens (196 tokens at 224x224); the classifier head is
+    global average pooling over tokens followed by a 1000-way FC.
+    """
+    g = ComputationGraph("vit_b16")
+    g.add(InputLayer(name="image", shape=FeatureMapShape(3, image, image)))
+    node = conv(g, "patch_embed", "image", out_channels=768, kernel=16, stride=16, padding="valid")
+    for i in range(12):
+        node = _encoder_block(
+            g, f"enc{i}", node, num_heads=12, mlp_dim=3072, d_model=768, pre_norm=True
+        )
+    node = layer_norm(g, "final_ln", node)
+    node = global_avg_pool(g, "gap", node)
+    g.add(FullyConnected(name="head", inputs=(node,), out_features=1000))
+    g.validate()
+    return g

@@ -19,6 +19,7 @@ from repro.models.inception_v4 import build_inception_v4
 from repro.models.mobilenet import build_mobilenet_v1
 from repro.models.resnet import build_resnet50, build_resnet101, build_resnet152
 from repro.models.squeezenet import build_squeezenet
+from repro.models.transformer import build_bert_base, build_vit_b16
 from repro.models.vgg import build_vgg16
 
 #: Canonical name -> builder.
@@ -33,6 +34,8 @@ MODEL_BUILDERS: dict[str, Callable[[], ComputationGraph]] = {
     "densenet121": build_densenet121,
     "mobilenet_v1": build_mobilenet_v1,
     "squeezenet": build_squeezenet,
+    "bert_base": build_bert_base,
+    "vit_b16": build_vit_b16,
 }
 
 _ALIASES = {
@@ -45,6 +48,10 @@ _ALIASES = {
     "inception-v4": "inception_v4",
     "inceptionv4": "inception_v4",
     "mobilenet": "mobilenet_v1",
+    "bert": "bert_base",
+    "bert-base": "bert_base",
+    "vit": "vit_b16",
+    "vit-b16": "vit_b16",
 }
 
 

@@ -27,12 +27,18 @@ from repro.errors import CapacityError, ConfigError, ReproError
 from repro.fingerprint import accel_fingerprint, sweep_key, tile_key
 from repro.obs import spans as obs
 from repro.ir.graph import ComputationGraph
-from repro.ir.layer import Conv2D, DepthwiseConv2D
+from repro.ir.layer import Attention, Conv2D, DepthwiseConv2D, Gemm
 from repro.ir.tensor import TensorKind
 from repro.perf import pool as pool_mod
 from repro.perf.latency import LatencyModel
 from repro.perf.pool import ScorerPool
-from repro.perf.systolic import AcceleratorConfig, SystolicArray
+from repro.perf.systolic import (
+    AcceleratorConfig,
+    SystolicArray,
+    gemm_compute_cycles,
+    gemm_cycles_lower_bound,
+    gemm_reload_trips,
+)
 from repro.perf.tiling import TileConfig
 
 if TYPE_CHECKING:
@@ -99,11 +105,12 @@ class _SweepScorer:
     """Fast per-tile UMM scoring for a fixed (graph, base) pair.
 
     Building a full :class:`LatencyModel` per tile re-characterises every
-    node, but only the convolution reload factors actually depend on the
-    tile — compute latencies, output slots and every non-conv node are
-    tile-invariant.  This scorer characterises the graph once against the
-    base design, keeps the tile-independent byte counts and latencies, and
-    re-evaluates only the reload-dependent terms per tile.
+    node, but only the conv/GEMM reload factors and the GEMM tile-loop
+    cycle counts actually depend on the tile — conv compute latencies,
+    output slots and every single-tile node are tile-invariant.  This
+    scorer characterises the graph once against the base design, keeps
+    the tile-independent byte counts and latencies, and re-evaluates only
+    the tile-dependent terms per tile.
 
     The per-node arithmetic replays ``LatencyModel``'s operations in the
     same order (integer byte products, one division per slot, the same
@@ -122,6 +129,8 @@ class _SweepScorer:
         self._if_cap = base.if_resident_cap
         self._wt_cap = base.wt_resident_cap
         self._elem = elem
+        self._array = base.array
+        self._freq = base.frequency
         # Plan entries in schedule order: (None, latency) for
         # tile-invariant nodes, otherwise the conv/depthwise parameters.
         self._plan: list[tuple] = []
@@ -165,6 +174,26 @@ class _SweepScorer:
                         if_ws_hw,
                     )
                 )
+            elif isinstance(layer, Attention):
+                if_bytes = tuple(
+                    graph.output_shape(src).volume * elem
+                    for src in graph.feature_sources(name)
+                )
+                wt_bytes = layer.weight_shape.volume * elem
+                of_lat = ll.slot_latency(TensorKind.OFMAP)
+                self._plan.append(
+                    ("attn", layer.gemm_dims(), if_bytes, wt_bytes, of_lat)
+                )
+            elif isinstance(layer, Gemm) and not layer.conv_datapath:
+                if_bytes = tuple(
+                    graph.output_shape(src).volume * elem
+                    for src in graph.feature_sources(name)
+                )
+                wt_bytes = layer.weight_shape.volume * elem
+                of_lat = ll.slot_latency(TensorKind.OFMAP)
+                self._plan.append(
+                    ("gemm", layer.gemm_dims(), if_bytes, wt_bytes, of_lat)
+                )
             else:
                 self._plan.append((None, ll.latency()))
 
@@ -200,6 +229,27 @@ class _SweepScorer:
                 nb = wt_bytes * n_sp
                 wt_lat = nb / bw_wt if nb else 0.0
                 total += max(compute, if_lat, wt_lat, of_lat)
+            elif tag == "gemm" or tag == "attn":
+                (_, dims, if_bytes, wt_bytes, of_lat) = entry
+                if tag == "attn":
+                    cycles = sum(
+                        gemm_compute_cycles(d, self._array, tile) for d in dims
+                    )
+                    lead = dims[0]
+                else:
+                    cycles = gemm_compute_cycles(dims, self._array, tile)
+                    lead = dims
+                compute = cycles / self._freq
+                n_if, n_wt = gemm_reload_trips(
+                    lead, tile, self._elem, if_cap, wt_cap
+                )
+                if_lat = 0.0
+                for vol in if_bytes:
+                    nb = vol * n_if
+                    if_lat += nb / bw_if if nb else 0.0
+                nb = wt_bytes * n_wt
+                wt_lat = nb / bw_wt if nb else 0.0
+                total += max(compute, if_lat, wt_lat, of_lat)
             else:  # depthwise: only the weight reload factor varies
                 (_, compute, if_lat, wt_bytes, of_lat, h, w) = entry
                 n_sp = tile.spatial_trips(h, w)
@@ -229,6 +279,16 @@ class _SweepScorer:
                 total += entry[1]
             elif tag == "conv":
                 (_, compute, if_bytes, wt_bytes, of_lat, _, _, _, _) = entry
+                if_lat = sum(vol / bw_if for vol in if_bytes if vol)
+                wt_lat = wt_bytes / bw_wt if wt_bytes else 0.0
+                total += max(compute, if_lat, wt_lat, of_lat)
+            elif tag == "gemm" or tag == "attn":
+                (_, dims, if_bytes, wt_bytes, of_lat) = entry
+                comps = dims if tag == "attn" else (dims,)
+                # Best-tile compute floor (single tile, one pipeline
+                # fill) with every reload factor at 1.
+                cycles = sum(gemm_cycles_lower_bound(d, self._array) for d in comps)
+                compute = cycles / self._freq
                 if_lat = sum(vol / bw_if for vol in if_bytes if vol)
                 wt_lat = wt_bytes / bw_wt if wt_bytes else 0.0
                 total += max(compute, if_lat, wt_lat, of_lat)

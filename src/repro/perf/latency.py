@@ -30,9 +30,22 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.ir.graph import ComputationGraph
-from repro.ir.layer import Conv2D, DepthwiseConv2D, FullyConnected, Layer, OpType, Pooling
+from repro.ir.layer import (
+    Attention,
+    ComputeKind,
+    Conv2D,
+    DepthwiseConv2D,
+    Gemm,
+    GemmDims,
+    Layer,
+    Pooling,
+)
 from repro.ir.tensor import TensorKind, feature_tensor_name, weight_tensor_name
-from repro.perf.systolic import AcceleratorConfig
+from repro.perf.systolic import (
+    AcceleratorConfig,
+    gemm_compute_cycles,
+    gemm_reload_trips,
+)
 
 
 @dataclass(frozen=True)
@@ -163,17 +176,29 @@ class LatencyModel:
 
     def _characterize(self, name: str) -> LayerLatency:
         layer = self.graph.layer(name)
-        if isinstance(layer, DepthwiseConv2D):
+        kind = layer.compute_kind
+        if kind is ComputeKind.DEPTHWISE:
+            assert isinstance(layer, DepthwiseConv2D)
             return self._characterize_depthwise(name, layer)
-        if isinstance(layer, Conv2D):
+        if kind is ComputeKind.CONV:
+            assert isinstance(layer, Conv2D)
             return self._characterize_conv(name, layer)
-        if isinstance(layer, FullyConnected):
-            return self._characterize_fc(name, layer)
-        if isinstance(layer, Pooling):
+        if kind is ComputeKind.GEMM:
+            assert isinstance(layer, Gemm)
+            if layer.conv_datapath:
+                return self._characterize_fc(name, layer)
+            return self._characterize_gemm(name, layer)
+        if kind is ComputeKind.ATTENTION:
+            assert isinstance(layer, Attention)
+            return self._characterize_attention(name, layer)
+        if kind is ComputeKind.NORM:
+            return self._characterize_norm(name, layer)
+        if kind is ComputeKind.POOL:
+            assert isinstance(layer, Pooling)
             return self._characterize_pool(name, layer)
-        if layer.op_type is OpType.ELTWISE:
+        if kind is ComputeKind.ELTWISE:
             return self._characterize_eltwise(name, layer)
-        raise ValueError(f"cannot characterise op type {layer.op_type} of {name!r}")
+        raise ValueError(f"cannot characterise compute kind {kind} of {name!r}")
 
     def _input_slots(self, name: str, reloads: int = 1) -> list[Slot]:
         """One if-slot per feature value the node reads, with reloads."""
@@ -291,7 +316,14 @@ class LatencyModel:
         slots.append(self._output_slot(name))
         return LayerLatency(node=name, compute=compute, slots=slots, macs=macs)
 
-    def _characterize_fc(self, name: str, layer: FullyConnected) -> LayerLatency:
+    def _characterize_fc(self, name: str, layer: Gemm) -> LayerLatency:
+        """Conv-datapath GEMM: the CNN classifier head.
+
+        Runs on the convolution datapath as a 1x1 convolution over a 1x1
+        spatial extent, so it pays the channel-padding waste model and a
+        single streaming pass over every tensor — the historical
+        ``FullyConnected`` characterisation, unchanged.
+        """
         macs = layer.macs(self.graph.input_shapes(name))
         array = self.accel.array
         effective_macs = array.effective_macs(layer.out_features, layer.in_features)
@@ -300,6 +332,56 @@ class LatencyModel:
         slots.append(self._weight_slot(name, layer, reloads=1))
         slots.append(self._output_slot(name))
         return LayerLatency(node=name, compute=compute, slots=slots, macs=macs)
+
+    def _gemm_reloads(self, dims: GemmDims) -> tuple[int, int]:
+        """Schedule selection for a GEMM node: (input, weight) reloads."""
+        return gemm_reload_trips(
+            dims,
+            self.accel.tile,
+            self.accel.precision.bytes,
+            self.accel.if_resident_cap,
+            self.accel.wt_resident_cap,
+        )
+
+    def _characterize_gemm(self, name: str, layer: Gemm) -> LayerLatency:
+        """Systolic-datapath GEMM over a token sequence."""
+        macs = layer.macs(self.graph.input_shapes(name))
+        dims = layer.gemm_dims()
+        cycles = gemm_compute_cycles(dims, self.accel.array, self.accel.tile)
+        compute = cycles / self.accel.frequency
+        n_if, n_wt = self._gemm_reloads(dims)
+        slots = self._input_slots(name, reloads=n_if)
+        slots.append(self._weight_slot(name, layer, reloads=n_wt))
+        slots.append(self._output_slot(name))
+        return LayerLatency(node=name, compute=compute, slots=slots, macs=macs)
+
+    def _characterize_attention(self, name: str, layer: Attention) -> LayerLatency:
+        """Fused multi-head attention: compute is the sum of the composed
+        GEMMs; the attention intermediates stay in the tile buffers, so
+        the only off-chip streams are the input sequence (reloaded per
+        output-feature tile of the QKV projection), the fused projection
+        weights and the output sequence.
+        """
+        macs = layer.macs(self.graph.input_shapes(name))
+        array, tile = self.accel.array, self.accel.tile
+        cycles = sum(gemm_compute_cycles(d, array, tile) for d in layer.gemm_dims())
+        compute = cycles / self.accel.frequency
+        n_if, n_wt = self._gemm_reloads(layer.gemm_dims()[0])
+        slots = self._input_slots(name, reloads=n_if)
+        slots.append(self._weight_slot(name, layer, reloads=n_wt))
+        slots.append(self._output_slot(name))
+        return LayerLatency(node=name, compute=compute, slots=slots, macs=macs)
+
+    def _characterize_norm(self, name: str, layer: Layer) -> LayerLatency:
+        """Layer normalisation: two passes (statistics, normalise) over the
+        data on the vector lanes, negligible arithmetic — memory bound on
+        any realistic design, like eltwise.
+        """
+        out = self.graph.output_shape(name)
+        compute = 2 * out.volume / (self.accel.array.macs * self.accel.frequency)
+        slots = self._input_slots(name)
+        slots.append(self._output_slot(name))
+        return LayerLatency(node=name, compute=compute, slots=slots, macs=0)
 
     def _characterize_pool(self, name: str, layer: Pooling) -> LayerLatency:
         out = self.graph.output_shape(name)

@@ -10,10 +10,12 @@ Scoring every point at that scale is wasteful, because most of the space
 is *provably* uncompetitive before any scoring happens:
 
 * **Tile dominance.**  The sweep score is invariant in the input-channel
-  tile ``tn`` (reload traffic depends only on ``tm`` and ``th x tw``),
-  so of all budget-feasible tiles sharing ``(tm, th, tw)`` only the
-  first-enumerated needs scoring — the rest are equal-score duplicates
-  with a larger or equal buffer footprint.
+  tile ``tn`` — conv reload traffic depends only on ``tm`` and
+  ``th x tw``, and GEMM nodes tile only their token-row (``th * tw``)
+  and output-feature (``tm``) loops while the reduction depth
+  accumulates on chip — so of all budget-feasible tiles sharing
+  ``(tm, th, tw)`` only the first-enumerated needs scoring — the rest
+  are equal-score duplicates with a larger or equal buffer footprint.
 * **Roofline base dominance.**  :func:`repro.perf.roofline.sweep_lower_bound`
   evaluates a base with every DDR reload at its floor of one trip; no
   tile on that base can do better.  Bases are scored in ascending order

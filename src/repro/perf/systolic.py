@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.hw.fpga import FPGADevice, VU9P
 from repro.hw.memory import DDRSystem, make_vu9p_ddr
 from repro.hw.precision import INT8, Precision
+from repro.ir.layer import GemmDims
 from repro.perf.tiling import TileConfig
 
 
@@ -59,6 +60,103 @@ class SystolicArray:
 
     def __str__(self) -> str:
         return f"{self.rows}x{self.cols}x{self.simd}"
+
+    @property
+    def reduction_lanes(self) -> int:
+        """Lanes reducing one output element's dot product per cycle.
+
+        The GEMM mapping folds the reduction (N) dimension over both the
+        array rows and the SIMD depth of each PE — the generalisation of
+        the reference model's 2-D ``ceil(N / rows)`` term to PEs that are
+        ``simd`` deep.
+        """
+        return self.rows * self.simd
+
+
+# ----------------------------------------------------------------------
+# Systolic GEMM cycle model
+# ----------------------------------------------------------------------
+# Follows the reference systolic simulator's compute model:
+#
+#     cycles = C * (B * M) * ceil(N / rows) * ceil(P / cols)
+#              + pipeline fill (rows + cols)
+#
+# with the reduction folded over ``rows * simd`` lanes (see
+# ``SystolicArray.reduction_lanes``) and the P loop executed tile by tile,
+# so the ceil() waste is paid per tile — tile-boundary-exact, which the
+# hypothesis property tests pin down.  These helpers are shared by the
+# latency model, the tile simulator and the DSE sweep scorer so all three
+# agree bit for bit by construction.
+
+
+def _tiled_ceil_sum(total: int, tile: int, unit: int) -> int:
+    """``sum(ceil(t / unit) for t in tiles-of(total, tile))`` in O(1).
+
+    ``total`` split into ``ceil(total / tile)`` tiles (last one ragged),
+    each padded up to a multiple of ``unit``.
+    """
+    full, rem = divmod(total, tile)
+    out = full * math.ceil(tile / unit)
+    if rem:
+        out += math.ceil(rem / unit)
+    return out
+
+
+def gemm_compute_cycles(dims: GemmDims, array: SystolicArray, tile: TileConfig) -> int:
+    """Cycles to execute one (batched) GEMM under a tile schedule.
+
+    Per output-feature tile the array streams ``M`` token rows, reducing
+    ``N`` over the ``rows * simd`` lanes and spreading the tile's output
+    features over the columns; every tile additionally pays the
+    ``rows + cols`` systolic pipeline fill.
+    """
+    inner = dims.m * math.ceil(dims.n / array.reduction_lanes) * _tiled_ceil_sum(
+        dims.p, tile.tm, array.cols
+    )
+    fill = (array.rows + array.cols) * tile.gemm_row_trips(dims.m) * tile.gemm_output_trips(dims.p)
+    return dims.batch * (inner + fill)
+
+
+def gemm_cycles_lower_bound(dims: GemmDims, array: SystolicArray) -> int:
+    """Cycles under the best possible tile schedule (single tile, one fill).
+
+    ``_tiled_ceil_sum(p, tm, cols) >= ceil(p / cols)`` for every ``tm`` and
+    the fill term is paid at least once, so this bounds
+    :func:`gemm_compute_cycles` from below over all tile configurations —
+    the property the DSE roofline pruning relies on.
+    """
+    inner = dims.m * math.ceil(dims.n / array.reduction_lanes) * math.ceil(dims.p / array.cols)
+    return dims.batch * (inner + array.rows + array.cols)
+
+
+def gemm_reload_trips(
+    dims: GemmDims,
+    tile: TileConfig,
+    element_bytes: int,
+    if_resident_cap: int,
+    wt_resident_cap: int,
+) -> tuple[int, int]:
+    """Per-layer schedule selection for a GEMM: (input, weight) reloads.
+
+    The mirror image of the conv reload model: with output features
+    outermost the activation matrix streams once per output-feature tile
+    (``ceil(P / tm)``) and the weight matrix once per token-row tile
+    (``ceil(M / (th * tw))``).  When a residency buffer fits the
+    corresponding working set — one row tile of activations over the full
+    reduction depth, or one output-feature tile of weights — the reload
+    factor drops to one.
+    """
+    n_if = tile.gemm_output_trips(dims.p)
+    n_wt = tile.gemm_row_trips(dims.m)
+    if n_if > 1 and if_resident_cap > 0:
+        if_working_set = dims.n * tile.gemm_rows * element_bytes
+        if if_working_set <= if_resident_cap:
+            n_if = 1
+    if n_wt > 1 and wt_resident_cap > 0:
+        wt_working_set = tile.tm * dims.n * element_bytes
+        if wt_working_set <= wt_resident_cap:
+            n_wt = 1
+    return n_if, n_wt
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,29 @@ class TileConfig:
         return math.ceil(out_h / self.th) * math.ceil(out_w / self.tw)
 
     # ------------------------------------------------------------------
+    # GEMM loop nest
+    # ------------------------------------------------------------------
+    # A GEMM node reuses the same tile buffers under a transposed naming:
+    # token rows (M) take the place of the spatial extent, output features
+    # (P) take the place of output channels, and the reduction depth (N)
+    # accumulates on chip across input-feature tiles — so, exactly as for
+    # convolution, the reduction tile ``tn`` bounds buffer slices but
+    # never adds reloads or compute trips.
+
+    @property
+    def gemm_rows(self) -> int:
+        """Token rows per tile: the spatial tile reinterpreted (th * tw)."""
+        return self.th * self.tw
+
+    def gemm_row_trips(self, m: int) -> int:
+        """Trip count over token-row tiles: ceil(M / (th * tw))."""
+        return math.ceil(m / self.gemm_rows)
+
+    def gemm_output_trips(self, p: int) -> int:
+        """Trip count over output-feature tiles: ceil(P / tm)."""
+        return math.ceil(p / self.tm)
+
+    # ------------------------------------------------------------------
     # Tile buffer footprints
     # ------------------------------------------------------------------
     def ifmap_tile_elems(self, kernel: tuple[int, int], stride: tuple[int, int]) -> int:

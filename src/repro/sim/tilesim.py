@@ -4,8 +4,9 @@ The layer-level simulator treats each node's transfers as single bulk
 operations; this module simulates the dataflow of Fig. 1 directly, one
 outer-loop tile iteration at a time:
 
-* each conv layer is decomposed into its ``ceil(M/tm) x ceil(H/th) x
-  ceil(W/tw)`` outer iterations;
+* each tiled layer is decomposed into its outer iterations — for a conv
+  ``ceil(M/tm) x ceil(H/th) x ceil(W/tw)``, for a GEMM
+  ``ceil(M/(th*tw)) x ceil(P/tm)``;
 * every iteration loads an input tile and a weight tile (unless the
   tensor is resident on chip), computes, and stores an output tile;
 * loads for iteration ``k+1`` overlap the compute of iteration ``k``
@@ -18,6 +19,11 @@ Validating the analytical Eq. 1 latencies against this from-first-
 principles model (they agree to within the pipeline-fill term) is the
 strongest internal evidence that the reproduction's numbers mean what
 the paper's equations mean.
+
+:func:`simulate_tiles` dispatches on the layer's
+:class:`~repro.ir.layer.ComputeKind`; :func:`simulate_conv_tiles` is the
+historical conv-only entry point, now one implementation behind the
+generic interface.
 """
 
 from __future__ import annotations
@@ -25,10 +31,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.ir.graph import ComputationGraph
-from repro.ir.layer import Conv2D
-from repro.ir.tensor import TensorKind, feature_tensor_name, weight_tensor_name
+from repro.ir.layer import Attention, ComputeKind, Conv2D, Gemm
+from repro.ir.tensor import feature_tensor_name, weight_tensor_name
 from repro.perf.latency import LatencyModel
+from repro.perf.systolic import gemm_compute_cycles
 
 
 @dataclass(frozen=True)
@@ -70,26 +76,50 @@ class TileLevelResult:
     bulk_latency: float
 
 
-def simulate_conv_tiles(
+def _pipeline_makespan(
     model: LatencyModel,
     node: str,
-    onchip: frozenset[str] = frozenset(),
+    onchip: frozenset[str],
+    iterations: int,
+    total_if_bytes: int,
+    total_wt_bytes: int,
+    total_of_bytes: int,
+    total_compute: float,
 ) -> TileLevelResult:
-    """Simulate one convolution at tile granularity.
+    """Makespan of a double-buffered load -> compute -> store tile pipeline.
 
-    Args:
-        model: Latency model supplying geometry and bandwidths.
-        node: Name of a conv layer.
-        onchip: Tensor values resident on chip (their tiles load in zero
-            time from the tensor buffers).
-
-    Raises:
-        ValueError: If ``node`` is not a convolution.
+    Edge tiles are smaller; payloads are per-layer totals averaged over
+    the iterations so the totals match the bulk model exactly.  Iteration
+    ``k``'s loads overlap iteration ``k-1``'s compute, its store overlaps
+    iteration ``k+1``'s compute; for n items with uniform stage times the
+    makespan is the classic  fill + (n-1)*period + drain  form.
     """
+    accel = model.accel
+    if_tile_time = total_if_bytes / accel.interface_bandwidth("if") / iterations
+    wt_tile_time = total_wt_bytes / accel.interface_bandwidth("wt") / iterations
+    of_tile_time = total_of_bytes / accel.interface_bandwidth("of") / iterations
+    compute_tile_time = total_compute / iterations
+
+    load = max(if_tile_time, wt_tile_time)
+    period = max(load, compute_tile_time, of_tile_time)
+    total = load + compute_tile_time + of_tile_time + (iterations - 1) * period
+
+    return TileLevelResult(
+        node=node,
+        iterations=iterations,
+        total_latency=total,
+        pipeline_fill=load,
+        bulk_latency=model.layer(node).latency(onchip),
+    )
+
+
+def _simulate_conv_tiles(
+    model: LatencyModel,
+    node: str,
+    layer: Conv2D,
+    onchip: frozenset[str],
+) -> TileLevelResult:
     graph = model.graph
-    layer = graph.layer(node)
-    if not isinstance(layer, Conv2D):
-        raise ValueError(f"{node!r} is not a convolution")
     accel = model.accel
     tile = accel.tile
     elem = accel.precision.bytes
@@ -101,68 +131,150 @@ def simulate_conv_tiles(
     n_w = math.ceil(out.width / tile.tw)
     iterations = n_m * n_h * n_w
 
-    if_bw = accel.interface_bandwidth("if")
-    wt_bw = accel.interface_bandwidth("wt")
-    of_bw = accel.interface_bandwidth("of")
-
     in_shape = graph.input_shapes(node)[0]
-    # Per-iteration tile payloads.  Edge tiles are smaller; model the
-    # average so the per-layer totals match the bulk model exactly.
     if_tensor = feature_tensor_name(graph.feature_sources(node)[0])
     wt_tensor = weight_tensor_name(node)
     of_tensor = feature_tensor_name(node)
 
-    total_if_bytes = 0 if if_tensor in onchip else (
-        in_shape.volume * elem * n_tm
-    )
+    total_if_bytes = 0 if if_tensor in onchip else in_shape.volume * elem * n_tm
     total_wt_bytes = 0 if wt_tensor in onchip else (
         layer.weight_shape.volume * elem * n_sp_reload
     )
     total_of_bytes = 0 if of_tensor in onchip else out.volume * elem
 
-    if_tile_time = total_if_bytes / if_bw / iterations
-    wt_tile_time = total_wt_bytes / wt_bw / iterations
-    of_tile_time = total_of_bytes / of_bw / iterations
-
     macs = layer.macs(graph.input_shapes(node))
     effective = accel.array.effective_macs(out.channels, layer.in_channels)
-    compute_tile_time = macs / (effective * accel.frequency) / iterations
+    total_compute = macs / (effective * accel.frequency)
 
-    # Double-buffered three-stage pipeline (load -> compute -> store):
-    # iteration k's loads overlap iteration k-1's compute, its store
-    # overlaps iteration k+1's compute.  For n items with uniform stage
-    # times the makespan is the classic  fill + (n-1)*period + ...  form:
-    #   load_1 + compute_1..n pipelined + store_n
-    load = max(if_tile_time, wt_tile_time)
-    period = max(load, compute_tile_time, of_tile_time)
-    fill = load
-    if iterations == 0:
-        total = 0.0
-    else:
-        total = load + compute_tile_time + of_tile_time + (iterations - 1) * period
-
-    bulk = model.layer(node).latency(onchip)
-    return TileLevelResult(
-        node=node,
-        iterations=iterations,
-        total_latency=total,
-        pipeline_fill=fill,
-        bulk_latency=bulk,
+    return _pipeline_makespan(
+        model, node, onchip, iterations,
+        total_if_bytes, total_wt_bytes, total_of_bytes, total_compute,
     )
+
+
+def _simulate_gemm_tiles(
+    model: LatencyModel,
+    node: str,
+    layer: Gemm | Attention,
+    onchip: frozenset[str],
+) -> TileLevelResult:
+    """GEMM / attention node at tile granularity.
+
+    The outer loop walks token-row x output-feature tiles of the node's
+    leading multiply; for attention the downstream composed GEMMs run out
+    of the tile buffers, so they add compute time but no extra streams.
+    """
+    graph = model.graph
+    accel = model.accel
+    tile = accel.tile
+    elem = accel.precision.bytes
+    out = graph.output_shape(node)
+
+    dims_list = layer.gemm_dims()
+    if isinstance(dims_list, tuple):
+        lead, components = dims_list[0], dims_list
+    else:
+        lead, components = dims_list, (dims_list,)
+
+    n_if, n_wt = model._gemm_reloads(lead)
+    iterations = tile.gemm_row_trips(lead.m) * tile.gemm_output_trips(lead.p)
+
+    in_shape = graph.input_shapes(node)[0]
+    if_tensor = feature_tensor_name(graph.feature_sources(node)[0])
+    wt_tensor = weight_tensor_name(node)
+    of_tensor = feature_tensor_name(node)
+
+    total_if_bytes = 0 if if_tensor in onchip else in_shape.volume * elem * n_if
+    total_wt_bytes = 0 if wt_tensor in onchip else (
+        layer.weight_shape.volume * elem * n_wt
+    )
+    total_of_bytes = 0 if of_tensor in onchip else out.volume * elem
+
+    cycles = sum(gemm_compute_cycles(d, accel.array, tile) for d in components)
+    total_compute = cycles / accel.frequency
+
+    return _pipeline_makespan(
+        model, node, onchip, iterations,
+        total_if_bytes, total_wt_bytes, total_of_bytes, total_compute,
+    )
+
+
+def _has_tile_schedule(layer) -> bool:
+    """Whether the layer runs a multi-tile outer loop.  FC heads run the
+    conv datapath as a single 1x1x1 tile and stay with their bulk
+    latency, as do the single-tile data-movement ops."""
+    if layer.compute_kind is ComputeKind.CONV:
+        return True
+    if layer.compute_kind is ComputeKind.GEMM:
+        return not layer.conv_datapath
+    return layer.compute_kind is ComputeKind.ATTENTION
+
+
+def simulate_tiles(
+    model: LatencyModel,
+    node: str,
+    onchip: frozenset[str] = frozenset(),
+) -> TileLevelResult:
+    """Simulate one tiled layer at tile granularity.
+
+    Dispatches on the layer's compute kind: convolutions walk their
+    output-channel x spatial tile loops, GEMM and attention nodes their
+    token-row x output-feature loops.
+
+    Args:
+        model: Latency model supplying geometry and bandwidths.
+        node: Name of a layer with a tile-level schedule.
+        onchip: Tensor values resident on chip (their tiles load in zero
+            time from the tensor buffers).
+
+    Raises:
+        ValueError: If the layer has no tile-level schedule (pool,
+            eltwise, norm, concat, input, conv-datapath FC).
+    """
+    layer = model.graph.layer(node)
+    if layer.compute_kind is ComputeKind.CONV and isinstance(layer, Conv2D):
+        return _simulate_conv_tiles(model, node, layer, onchip)
+    if _has_tile_schedule(layer) and isinstance(layer, (Gemm, Attention)):
+        return _simulate_gemm_tiles(model, node, layer, onchip)
+    raise ValueError(
+        f"{node!r} (kind {layer.compute_kind}) has no tile-level schedule"
+    )
+
+
+def simulate_conv_tiles(
+    model: LatencyModel,
+    node: str,
+    onchip: frozenset[str] = frozenset(),
+) -> TileLevelResult:
+    """Simulate one convolution at tile granularity.
+
+    Historical conv-only entry point; see :func:`simulate_tiles`.
+
+    Raises:
+        ValueError: If ``node`` is not a convolution.
+    """
+    layer = model.graph.layer(node)
+    if not isinstance(layer, Conv2D):
+        raise ValueError(f"{node!r} is not a convolution")
+    return _simulate_conv_tiles(model, node, layer, onchip)
 
 
 def simulate_network_tiles(
     model: LatencyModel,
     onchip: frozenset[str] = frozenset(),
 ) -> dict[str, TileLevelResult]:
-    """Tile-simulate every convolution of the network.
+    """Tile-simulate every tiled layer of the network.
 
-    Non-conv layers keep their bulk latencies (they are single-tile ops).
+    Single-tile layers (pool, eltwise, norm, conv-datapath FC) keep their
+    bulk latencies.
     """
     results = {}
     for node in model.nodes():
-        if isinstance(model.graph.layer(node), Conv2D):
-            results[node] = simulate_conv_tiles(model, node, onchip)
+        layer = model.graph.layer(node)
+        if isinstance(layer, Conv2D) or (
+            _has_tile_schedule(layer) and isinstance(layer, (Gemm, Attention))
+        ):
+            results[node] = simulate_tiles(model, node, onchip)
     return results
 
 
@@ -170,7 +282,7 @@ def network_tile_latency(
     model: LatencyModel,
     onchip: frozenset[str] = frozenset(),
 ) -> float:
-    """End-to-end latency with conv layers at tile granularity."""
+    """End-to-end latency with tiled layers at tile granularity."""
     tile_results = simulate_network_tiles(model, onchip)
     total = 0.0
     for node in model.nodes():

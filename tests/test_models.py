@@ -22,6 +22,8 @@ class TestZoo:
             "densenet121",
             "mobilenet_v1",
             "squeezenet",
+            "bert_base",
+            "vit_b16",
         }
 
     @pytest.mark.parametrize("alias,canonical", [
@@ -48,7 +50,11 @@ class TestZoo:
     def test_all_models_end_in_1000_classes(self, name):
         g = get_model(name)
         (sink,) = g.sinks()
-        assert g.output_shape(sink) == FeatureMapShape(1000, 1, 1)
+        if name == "bert_base":
+            # Encoder-only: ends at the final hidden state, no task head.
+            assert g.output_shape(sink) == FeatureMapShape(768, 384, 1)
+        else:
+            assert g.output_shape(sink) == FeatureMapShape(1000, 1, 1)
 
 
 class TestKnownMACCounts:
