@@ -22,6 +22,18 @@ Design points:
 * **Corrupt or unreadable entries are misses**: a failed unpickle
   deletes the file and returns ``None`` rather than raising into the
   compile path.
+* **The cache never fails a compilation**: ``get`` and ``put`` absorb
+  storage-layer failures (I/O errors, and the ``cache.get`` /
+  ``cache.put`` fault points the chaos suite arms) and degrade to
+  cache-off behaviour — a failed read is a miss, a failed write is a
+  dropped store — counting the incident in ``CacheStats.errors``.
+* **Cross-process writers are serialized per key**: ``put`` takes a
+  per-key lockfile (``O_CREAT | O_EXCL`` with stale-lock takeover)
+  around the temp-write + rename, so two ``batch_compile``/serve
+  processes hammering the same key cannot interleave a torn write; if
+  the lock cannot be acquired within a short budget the write proceeds
+  anyway — the atomic rename still guarantees readers never observe a
+  partial artifact, the lock only serializes the writers.
 * **Observability**: every lookup updates the store's own
   :class:`CacheStats`, and — while a tracer is active, matching the
   run-granularity convention of :mod:`repro.obs` — mirrors
@@ -35,15 +47,32 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, InjectedFault
 from repro.obs import spans as obs
+from repro.robustness.inject import declare_fault_point, fault_point
 
 __all__ = ["CacheStats", "CompilationCache"]
+
+declare_fault_point("cache.get", "one artifact lookup in the disk store")
+declare_fault_point("cache.put", "one artifact write in the disk store")
+
+#: Failures the storage layer absorbs: real I/O trouble plus the chaos
+#: suite's injected stand-in for it.
+_STORAGE_FAILURES = (OSError, InjectedFault)
+
+#: Seconds a writer waits for another process's per-key lock before
+#: proceeding unlocked (the atomic rename keeps readers safe either way).
+_LOCK_TIMEOUT = 5.0
+
+#: Age past which a lockfile is presumed abandoned (a writer that died
+#: between acquire and release) and taken over.
+_LOCK_STALE_SECONDS = 30.0
 
 #: Namespace for whole-compilation artifacts (pickled ``LCMMResult``).
 RESULT_NAMESPACE = "result"
@@ -62,6 +91,8 @@ class CacheStats:
         evictions: Memory-LRU entries dropped for capacity (the disk
             copy survives; a later lookup re-reads it).
         memory_hits: Subset of ``hits`` served without touching disk.
+        errors: Storage-layer failures absorbed (failed reads counted
+            as misses, failed writes as dropped stores).
     """
 
     hits: int = 0
@@ -69,6 +100,7 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     memory_hits: int = 0
+    errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -85,6 +117,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "memory_hits": self.memory_hits,
+            "errors": self.errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -133,15 +166,22 @@ class CompilationCache:
         """The artifact stored under ``key``, or ``None``.
 
         Every hit unpickles fresh bytes (memory or disk), so callers own
-        their copy outright.
+        their copy outright.  A failing storage layer (I/O error, armed
+        ``cache.get`` fault) degrades to a miss — the cache must never
+        fail the compilation it fronts.
         """
         payload = self._lru.get((namespace, key))
         from_memory = payload is not None
         if payload is None and self.root is not None:
             path = self._path(key, namespace)
             try:
+                fault_point("cache.get", key=key[:12], namespace=namespace)
                 payload = path.read_bytes()
-            except OSError:
+            except FileNotFoundError:
+                payload = None
+            except _STORAGE_FAILURES:
+                self.stats.errors += 1
+                self._record("cache.error", namespace)
                 payload = None
         if payload is not None:
             try:
@@ -168,24 +208,92 @@ class CompilationCache:
         return None
 
     def put(self, key: str, value: Any, namespace: str = RESULT_NAMESPACE) -> None:
-        """Store ``value`` under ``key`` (atomic on disk, LRU-admitted)."""
+        """Store ``value`` under ``key`` (atomic on disk, LRU-admitted).
+
+        The disk write is serialized against concurrent cross-process
+        writers by a per-key lockfile and performed as temp-write +
+        atomic rename.  A failing storage layer (I/O error, armed
+        ``cache.put`` fault) drops the disk copy — counted in
+        ``CacheStats.errors`` — but never raises into the compile path;
+        the in-memory LRU still remembers the value.
+        """
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         if self.root is not None:
             path = self._path(key, namespace)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(payload)
-                os.replace(tmp, path)
-            except BaseException:
+                fault_point("cache.put", key=key[:12], namespace=namespace)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                lock = self._acquire_lock(path)
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                    try:
+                        with os.fdopen(fd, "wb") as handle:
+                            handle.write(payload)
+                        os.replace(tmp, path)
+                    except BaseException:
+                        try:
+                            os.unlink(tmp)
+                        except OSError:
+                            pass
+                        raise
+                finally:
+                    self._release_lock(lock)
+            except _STORAGE_FAILURES:
+                self.stats.errors += 1
+                self._record("cache.error", namespace)
         self._remember(namespace, key, payload)
         self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    # Per-key write lock (cross-process)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lock_path(path: Path) -> Path:
+        return path.with_suffix(path.suffix + ".lock")
+
+    def _acquire_lock(self, path: Path) -> Path | None:
+        """Take the per-key writer lock, or give up after a short wait.
+
+        ``O_CREAT | O_EXCL`` makes creation the atomic acquire.  A lock
+        older than :data:`_LOCK_STALE_SECONDS` is presumed abandoned by a
+        dead writer and taken over.  Returns the lock path on success or
+        ``None`` when the budget ran out — the caller then writes
+        unlocked, which the atomic rename keeps safe for readers.
+        """
+        lock = self._lock_path(path)
+        deadline = time.monotonic() + _LOCK_TIMEOUT
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat
+                if age > _LOCK_STALE_SECONDS:
+                    # Abandoned: remove and retry the atomic acquire
+                    # (the unlink may race another takeover; the retry
+                    # loop sorts the survivors out).
+                    try:
+                        os.unlink(lock)
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    return None
+                time.sleep(0.002)
+            else:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(f"{os.getpid()} {time.time():.3f}\n")
+                return lock
+
+    @staticmethod
+    def _release_lock(lock: Path | None) -> None:
+        if lock is not None:
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
 
     def contains(self, key: str, namespace: str = RESULT_NAMESPACE) -> bool:
         """Whether a lookup would hit, without counting it as one."""

@@ -20,6 +20,10 @@ Installed as the ``lcmm`` console script::
     lcmm stats googlenet     # span/metric profile of one compilation
     lcmm run googlenet --cache .lcmm-cache # content-addressed result cache
     lcmm batch-compile --cache .lcmm-cache --workers 4   # precompile the zoo
+    lcmm serve --cache .lcmm-cache --workers 4           # compilation daemon
+
+Exit codes follow the error taxonomy (see the README table): 0 success,
+1 internal failure, 2 user/configuration error.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.metrics import average_speedup
 from repro.analysis.report import format_table
-from repro.errors import ReproError
+from repro.errors import ReproError, exit_code
 from repro.hw.precision import precision_by_name
 from repro.ir.graph import ComputationGraph
 from repro.models.zoo import get_model, list_models
@@ -568,6 +572,58 @@ def _dse_body(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from repro.serve import (
+        CompileServer,
+        CompileService,
+        ServerConfig,
+        ServiceConfig,
+    )
+
+    service_config = ServiceConfig(
+        cache_dir=args.cache,
+        workers=args.workers,
+        inline=args.inline,
+        precision=args.precision,
+        default_deadline=args.deadline,
+        retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+    )
+    server_config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        drain_seconds=args.drain_seconds,
+    )
+
+    async def _serve() -> bool:
+        service = CompileService(service_config)
+        server = CompileServer(service, server_config)
+        host, port = await server.start()
+        mode = "inline threads" if args.inline else "process pool"
+        print(
+            f"lcmm serve listening on {host}:{port} "
+            f"({args.workers} workers, {mode})",
+            flush=True,
+        )
+        clean = await server.run()
+        print(
+            "lcmm serve drained cleanly"
+            if clean
+            else "lcmm serve drain timed out; in-flight work abandoned",
+            flush=True,
+        )
+        return clean
+
+    asyncio.run(_serve())
+
+
 def _cmd_cotune(args: argparse.Namespace) -> None:
     _traced(args.trace, lambda: _cotune_body(args))
 
@@ -840,6 +896,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pstats.set_defaults(func=_cmd_stats)
 
+    pserve = sub.add_parser(
+        "serve", help="compilation daemon: compile/DSE jobs over HTTP/JSON"
+    )
+    pserve.add_argument("--host", default="127.0.0.1")
+    pserve.add_argument(
+        "--port", type=int, default=8347, help="0 picks an ephemeral port"
+    )
+    pserve.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="shared artifact cache directory (warm hits skip the pool)",
+    )
+    pserve.add_argument(
+        "--workers", type=int, default=2, help="compile worker count"
+    )
+    pserve.add_argument(
+        "--inline",
+        action="store_true",
+        help="run jobs on threads in-process (no crash isolation; tests)",
+    )
+    pserve.add_argument("--precision", default="int8")
+    pserve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="concurrent compute requests actually executing",
+    )
+    pserve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a slot before shedding with 429",
+    )
+    pserve.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        help="per-tenant requests/second (default: quotas off)",
+    )
+    pserve.add_argument(
+        "--quota-burst", type=float, default=None, help="per-tenant burst size"
+    )
+    pserve.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        help="default per-request deadline, seconds",
+    )
+    pserve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="transient worker-failure retries per request",
+    )
+    pserve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive pool failures that open the circuit",
+    )
+    pserve.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=10.0,
+        help="circuit cool-down seconds before half-open probing",
+    )
+    pserve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        help="grace for in-flight jobs on SIGTERM/SIGINT",
+    )
+    pserve.set_defaults(func=_cmd_serve)
+
     pcotune = sub.add_parser("cotune", help="tile/allocation co-tuning sweep")
     pcotune.add_argument("model", choices=list(BENCHMARKS))
     pcotune.add_argument("--precision", default="int16")
@@ -865,16 +996,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point.
 
-    Any :class:`~repro.errors.ReproError` — unknown model, invalid graph,
-    infeasible budget, pipeline failure with fallback disabled... — is
-    reported as a single actionable line on stderr with exit status 1.
+    Any :class:`~repro.errors.ReproError` is reported as a single
+    actionable line on stderr, and the exit status distinguishes whose
+    fault it was (:func:`repro.errors.exit_code`): user/configuration
+    errors — unknown model, invalid graph, infeasible budget — exit 2;
+    internal failures — pipeline bugs with fallback disabled, worker
+    crashes — exit 1.
     """
     args = build_parser().parse_args(argv)
     try:
         args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code(exc)
     return 0
 
 

@@ -135,5 +135,74 @@ class WorkerError(ReproError, RuntimeError):
     """A parallel worker (DSE process pool) failed beyond recovery."""
 
 
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A compilation ran past its caller-supplied deadline.
+
+    Raised by :func:`repro.robustness.deadline.check_deadline` at pass
+    boundaries (and by the serving front door when a request times out
+    end to end).  Deliberately *not* absorbed by the degradation chain:
+    once the budget is spent, falling back would only burn more of it,
+    so :func:`repro.lcmm.framework.run_lcmm` re-raises instead of
+    degrading.
+    """
+
+
 class InjectedFault(ReproError, RuntimeError):
     """Raised by the fault-injection harness at an armed fault point."""
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """The serving front door shed this request (queue full, quota
+    exhausted, circuit open, or draining).  Carries ``retry_after``
+    seconds in ``details`` when a retry hint is known."""
+
+
+# ----------------------------------------------------------------------
+# Outcome mapping: exceptions -> CLI exit codes and HTTP statuses
+# ----------------------------------------------------------------------
+
+#: Exit status for internal failures (worker crashes, pass bugs,
+#: injected faults with fallback disabled...).
+EXIT_INTERNAL = 1
+
+#: Exit status for user/configuration errors (unknown model, malformed
+#: graph, infeasible budget, bad flag values).
+EXIT_USER = 2
+
+
+def _is_user_error(exc: BaseException) -> bool:
+    """Whether the failure is the caller's input, not the compiler."""
+    return isinstance(exc, (ConfigError, GraphValidationError, CapacityError))
+
+
+def exit_code(exc: BaseException) -> int:
+    """The CLI exit status for an exception (see README error table).
+
+    User and configuration errors — the caller can fix the invocation —
+    exit :data:`EXIT_USER` (2); internal and worker failures exit
+    :data:`EXIT_INTERNAL` (1).
+    """
+    return EXIT_USER if _is_user_error(exc) else EXIT_INTERNAL
+
+
+def http_status(exc: BaseException) -> int:
+    """The HTTP status the compilation service maps an exception to.
+
+    * 400 — malformed request: unknown model, bad options, invalid graph.
+    * 422 — well-formed but unsatisfiable: a memory budget that cannot fit.
+    * 429 — shed by admission control or a tenant quota.
+    * 503 — transient internal trouble (worker pool down, circuit open).
+    * 504 — the request's deadline expired before a result landed.
+    * 500 — any other internal failure.
+    """
+    if isinstance(exc, CapacityError):
+        return 422
+    if isinstance(exc, (ConfigError, GraphValidationError)):
+        return 400
+    if isinstance(exc, OverloadedError):
+        return 429
+    if isinstance(exc, DeadlineExceeded):
+        return 504
+    if isinstance(exc, WorkerError):
+        return 503
+    return 500

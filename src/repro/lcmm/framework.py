@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.errors import PassError, PipelineError, ReproError
+from repro.errors import DeadlineExceeded, PassError, PipelineError, ReproError
 from repro.fingerprint import compile_key
 from repro.hw.sram import BRAM36_BYTES, SRAMUsage, blocks_for
 from repro.obs.metrics import registry as obs_registry
@@ -350,6 +350,11 @@ def run_lcmm(
                     # A malformed pipeline (unknown pass, broken artifact
                     # contract) is a caller error, not a runtime fault —
                     # degrading would silently ignore the caller's request.
+                    raise
+                except DeadlineExceeded:
+                    # An expired request budget must fail fast: degrading
+                    # would burn more of a budget that is already spent
+                    # (every weaker attempt would trip the same check).
                     raise
                 except ReproError as exc:
                     if not fallback:

@@ -36,6 +36,7 @@ from repro.lcmm.options import LCMMOptions
 from repro.perf.engine import AllocationEngine, EngineStats
 from repro.perf.latency import LatencyModel
 from repro.perf.systolic import AcceleratorConfig
+from repro.robustness.deadline import check_deadline
 from repro.robustness.inject import declare_fault_point, fault_point
 
 __all__ = [
@@ -353,6 +354,11 @@ class PassManager:
         self.executions = []
         self.failures = []
         for pass_ in self.passes:
+            # Cooperative deadline: a budgeted caller (the serving front
+            # door) gets control back at the next pass boundary instead
+            # of paying for the rest of the pipeline.  Free when no
+            # deadline is installed.
+            check_deadline(f"pass.{pass_.name}")
             for key in pass_.requires:
                 if not ctx.has(key):
                     raise PipelineError(

@@ -28,7 +28,13 @@ Typical use::
                            metrics=obs.registry().snapshot())
 """
 
-from repro.obs.export import chrome_trace, flat_json, stats_table, write_chrome_trace
+from repro.obs.export import (
+    chrome_trace,
+    flat_json,
+    prometheus_text,
+    stats_table,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -73,6 +79,7 @@ __all__ = [
     "enable",
     "enabled",
     "flat_json",
+    "prometheus_text",
     "registry",
     "reset_registry",
     "span",

@@ -28,6 +28,7 @@ from repro.obs.spans import SpanEvent, SpanRecord, Tracer
 __all__ = [
     "chrome_trace",
     "flat_json",
+    "prometheus_text",
     "stats_table",
     "write_chrome_trace",
 ]
@@ -154,6 +155,60 @@ def write_chrome_trace(
         json.dump(trace, handle, indent=1, default=str)
         handle.write("\n")
     return len(tracer.records)
+
+
+def _prom_name(name: str) -> str:
+    """A registry metric name as a legal Prometheus identifier."""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_labels(labels: str) -> str:
+    """Render the registry's ``k=v,k2=v2`` label string for Prometheus."""
+    if not labels:
+        return ""
+    pairs = []
+    for part in labels.split(","):
+        key, _, value = part.partition("=")
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        pairs.append(f'{_prom_name(key)}="{escaped}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+def prometheus_text(metrics: Mapping[str, Any]) -> str:
+    """A metrics snapshot in the Prometheus text exposition format.
+
+    Takes the output of
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot` and renders one
+    ``# HELP`` / ``# TYPE`` block per metric.  Histograms — which the
+    registry keeps as count/total/min/max summaries, not buckets — are
+    exposed as ``<name>_count`` / ``<name>_sum`` (the standard summary
+    pair) plus ``_min`` / ``_max`` gauges.  The serving daemon's
+    ``/metrics`` endpoint returns exactly this.
+    """
+    lines: list[str] = []
+    for name, payload in sorted(metrics.items()):
+        prom = _prom_name(name)
+        kind = payload.get("kind", "gauge")
+        help_text = payload.get("description", "") or name
+        series = payload.get("series", {})
+        if kind == "histogram":
+            lines.append(f"# HELP {prom} {help_text}")
+            lines.append(f"# TYPE {prom} summary")
+            for labels, value in sorted(series.items()):
+                rendered = _prom_labels(labels)
+                lines.append(f"{prom}_count{rendered} {value['count']}")
+                lines.append(f"{prom}_sum{rendered} {value['total']:.9g}")
+                if value.get("min") is not None:
+                    lines.append(f"{prom}_min{rendered} {value['min']:.9g}")
+                if value.get("max") is not None:
+                    lines.append(f"{prom}_max{rendered} {value['max']:.9g}")
+        else:
+            prom_kind = "counter" if kind == "counter" else "gauge"
+            lines.append(f"# HELP {prom} {help_text}")
+            lines.append(f"# TYPE {prom} {prom_kind}")
+            for labels, value in sorted(series.items()):
+                lines.append(f"{prom}{_prom_labels(labels)} {value:.9g}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _format_rows(headers: tuple[str, ...], rows: list[tuple]) -> str:

@@ -64,6 +64,7 @@ if TYPE_CHECKING:
     from repro.ir.graph import ComputationGraph
 
 __all__ = [
+    "ResilientPool",
     "ScorerPool",
     "TARGET_CHUNK_SECONDS",
     "active_pool",
@@ -244,70 +245,48 @@ def _pool_score_chunk(
 # Parent-process side
 # ----------------------------------------------------------------------
 
-class ScorerPool:
-    """A lazily created, reusable process pool bound to one graph.
+class ResilientPool:
+    """A lazily created process pool with warm-up, refresh and close.
 
-    The executor is not built until the first :meth:`ensure`, so merely
-    resolving a pool (the serial path does) costs nothing.  The pool
-    survives across sweeps; :meth:`refresh` replaces a broken or
-    stranded executor without losing the pool's identity, measurements
-    or registry slot, and :meth:`close` ends its life explicitly.
+    The lifecycle contract shared by every pool in the system (the DSE
+    :class:`ScorerPool` below, the serving daemon's compile pool in
+    :mod:`repro.serve.jobs`):
 
-    Args:
-        graph: The computation graph workers score against.
-        workers: Worker process count.
-        trace: Ship parent tracing into the workers (worker spans are
-            returned with each chunk for merging).
-        plans: Fault plans to install in each worker; defaults to the
-            plans armed in this process at construction time.
-        graph_fp: Precomputed :func:`~repro.fingerprint.graph_fingerprint`
-            (avoids re-serializing the graph when the caller already has
-            it).
+    * The executor is not built until the first :meth:`ensure`, so
+      merely resolving a pool costs nothing.
+    * :meth:`ensure` warms the fresh executor with one ping per worker,
+      so the initializer has demonstrably run before real work is
+      dispatched — job deadlines never absorb process spawn time, and an
+      environment that cannot spawn fails *here* (with
+      ``OSError``/``RuntimeError``, which callers' environmental
+      fallbacks catch) rather than mid-job.
+    * :meth:`refresh` replaces a broken or stranded executor (crashed
+      worker, uncancellable hung future) without losing the pool
+      object, its identity or its measurements — the fault costs the
+      executor its life, not the pool its registry slot.
+    * :meth:`close` ends the pool's life explicitly (idempotent).
+
+    Subclasses override :meth:`_build_executor` to attach their
+    initializer and its arguments.
     """
 
-    def __init__(
-        self,
-        graph: "ComputationGraph",
-        workers: int,
-        trace: bool = False,
-        plans: Iterable | None = None,
-        graph_fp: str | None = None,
-    ) -> None:
+    def __init__(self, workers: int, warmup_timeout: float = _WARMUP_TIMEOUT) -> None:
         if workers < 1:
             raise ConfigError(
                 "pool workers must be at least 1", details={"workers": workers}
             )
-        from repro.fingerprint import graph_fingerprint
-
-        self.graph = graph
         self.workers = int(workers)
-        self.trace = bool(trace)
-        self.plans = tuple(plans) if plans is not None else inject.active_plans()
-        self.graph_fp = graph_fp or graph_fingerprint(graph)
         #: Incremented every time :meth:`refresh` discards an executor.
         self.generation = 0
         #: Total wall seconds spent spinning up executors (all generations).
         self.init_seconds_total = 0.0
-        #: EWMA of measured seconds per scored point (None until observed).
-        self.per_point_seconds: float | None = None
-        #: Chunks successfully scored over the pool's lifetime.
-        self.chunks_scored = 0
+        self._warmup_timeout = warmup_timeout
         self._executor: ProcessPoolExecutor | None = None
         self._closed = False
 
-    # -- identity ------------------------------------------------------
-
-    def matches(
-        self, graph_fp: str, workers: int, trace: bool, plans: tuple
-    ) -> bool:
-        """Whether this pool can serve a request with the given identity."""
-        return (
-            not self._closed
-            and self.graph_fp == graph_fp
-            and self.workers == workers
-            and self.trace == trace
-            and self.plans == plans
-        )
+    def _build_executor(self) -> ProcessPoolExecutor:
+        """Construct the executor (override to attach an initializer)."""
+        return ProcessPoolExecutor(max_workers=self.workers)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -324,29 +303,19 @@ class ScorerPool:
 
         Returns ``(executor, seconds)`` where ``seconds`` is the wall
         time spent bringing the pool up (0.0 when it was already warm).
-        Warm-up submits one ping per worker and waits for them, so the
-        initializer has demonstrably run before real chunks are
-        dispatched — chunk deadlines never absorb process spawn time,
-        and an environment that cannot spawn fails *here* (with
-        ``OSError``/``RuntimeError``, which the caller's environmental
-        fallback catches) rather than mid-sweep.
         """
         if self._closed:
-            raise RuntimeError("ScorerPool is closed")
+            raise RuntimeError(f"{type(self).__name__} is closed")
         if self._executor is not None:
             return self._executor, 0.0
         start = time.perf_counter()
-        executor = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_pool_init,
-            initargs=(self.graph, self.plans, self.trace),
-        )
+        executor = self._build_executor()
         try:
             pings = [executor.submit(_pool_ping) for _ in range(self.workers)]
-            done, not_done = futures_wait(pings, timeout=_WARMUP_TIMEOUT)
+            done, not_done = futures_wait(pings, timeout=self._warmup_timeout)
             if not_done:
                 raise RuntimeError(
-                    f"worker pool warm-up timed out after {_WARMUP_TIMEOUT}s"
+                    f"worker pool warm-up timed out after {self._warmup_timeout}s"
                 )
             for ping in done:
                 ping.result()  # surfaces initializer failures
@@ -375,6 +344,67 @@ class ScorerPool:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
         self._closed = True
+
+
+class ScorerPool(ResilientPool):
+    """A lazily created, reusable process pool bound to one graph.
+
+    Extends :class:`ResilientPool` with the DSE-specific identity (graph
+    fingerprint, tracing state, armed fault plans — see :meth:`matches`)
+    and the adaptive chunk-size measurements that survive across sweeps.
+
+    Args:
+        graph: The computation graph workers score against.
+        workers: Worker process count.
+        trace: Ship parent tracing into the workers (worker spans are
+            returned with each chunk for merging).
+        plans: Fault plans to install in each worker; defaults to the
+            plans armed in this process at construction time.
+        graph_fp: Precomputed :func:`~repro.fingerprint.graph_fingerprint`
+            (avoids re-serializing the graph when the caller already has
+            it).
+    """
+
+    def __init__(
+        self,
+        graph: "ComputationGraph",
+        workers: int,
+        trace: bool = False,
+        plans: Iterable | None = None,
+        graph_fp: str | None = None,
+    ) -> None:
+        super().__init__(workers)
+        from repro.fingerprint import graph_fingerprint
+
+        self.graph = graph
+        self.trace = bool(trace)
+        self.plans = tuple(plans) if plans is not None else inject.active_plans()
+        self.graph_fp = graph_fp or graph_fingerprint(graph)
+        #: EWMA of measured seconds per scored point (None until observed).
+        self.per_point_seconds: float | None = None
+        #: Chunks successfully scored over the pool's lifetime.
+        self.chunks_scored = 0
+
+    def _build_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_pool_init,
+            initargs=(self.graph, self.plans, self.trace),
+        )
+
+    # -- identity ------------------------------------------------------
+
+    def matches(
+        self, graph_fp: str, workers: int, trace: bool, plans: tuple
+    ) -> bool:
+        """Whether this pool can serve a request with the given identity."""
+        return (
+            not self.closed
+            and self.graph_fp == graph_fp
+            and self.workers == workers
+            and self.trace == trace
+            and self.plans == plans
+        )
 
     # -- scoring support ----------------------------------------------
 

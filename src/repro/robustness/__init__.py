@@ -1,5 +1,11 @@
-"""Robustness tooling: fault injection and chaos-test support."""
+"""Robustness tooling: fault injection, deadlines, chaos-test support."""
 
+from repro.robustness.deadline import (
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    remaining,
+)
 from repro.robustness.inject import (
     FaultPlan,
     arm,
@@ -15,6 +21,10 @@ from repro.robustness.inject import (
 
 __all__ = [
     "FaultPlan",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "remaining",
     "arm",
     "declare_fault_point",
     "disarm",

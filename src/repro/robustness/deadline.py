@@ -1,0 +1,114 @@
+"""Cooperative per-request deadlines, propagated into pass execution.
+
+The serving front door (:mod:`repro.serve`) gives every request a time
+budget.  A budget is only worth anything if the code doing the work can
+see it, so this module keeps a *thread-local absolute deadline* that the
+pass pipeline checks at every pass boundary
+(:meth:`repro.lcmm.passes.PassManager.run` calls :func:`check_deadline`
+before each pass) and that any long-running loop is free to poll.
+
+Semantics:
+
+* :func:`deadline_scope` installs a deadline for the dynamic extent of a
+  with-block.  Scopes nest; an inner scope can only *shorten* the
+  effective deadline, never extend it past the enclosing one.
+* :func:`check_deadline` raises
+  :class:`repro.errors.DeadlineExceeded` once the budget is spent.  The
+  degradation chain deliberately re-raises it instead of falling back —
+  an expired request must fail fast, not burn more budget compiling
+  weaker levels.
+* Everything is thread-local, so a threaded server can run concurrent
+  requests with independent budgets; worker *processes* receive an
+  absolute wall-clock epoch (monotonic clocks do not travel between
+  processes) and re-anchor it on entry (:func:`deadline_scope` with
+  ``epoch=``).
+
+When no deadline is installed (the normal batch/CLI case) every check
+is one thread-local attribute read — effectively free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ConfigError, DeadlineExceeded
+
+__all__ = [
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "remaining",
+]
+
+_LOCAL = threading.local()
+
+
+def current_deadline() -> float | None:
+    """The active absolute deadline (``time.monotonic`` seconds), if any."""
+    return getattr(_LOCAL, "deadline", None)
+
+
+def remaining() -> float | None:
+    """Seconds left in the active budget (``None`` = no deadline)."""
+    deadline = current_deadline()
+    if deadline is None:
+        return None
+    return deadline - time.monotonic()
+
+
+def check_deadline(where: str = "") -> None:
+    """Raise :class:`~repro.errors.DeadlineExceeded` if the budget is spent.
+
+    ``where`` names the checkpoint (``"pass.score"``, ``"serve.queue"``)
+    for the structured error context.
+    """
+    deadline = current_deadline()
+    if deadline is None:
+        return
+    over = time.monotonic() - deadline
+    if over >= 0.0:
+        raise DeadlineExceeded(
+            f"deadline exceeded at {where or 'checkpoint'!s}",
+            details={"checkpoint": where, "over_seconds": round(over, 6)},
+        )
+
+
+@contextmanager
+def deadline_scope(
+    seconds: float | None,
+    *,
+    epoch: float | None = None,
+) -> Iterator[float | None]:
+    """Install a deadline for the duration of a with-block.
+
+    Args:
+        seconds: Budget from now.  ``None`` installs nothing (the scope
+            is then a no-op passthrough, which lets callers write one
+            code path for both budgeted and unbudgeted work).
+        epoch: Alternatively, an absolute ``time.time()`` wall-clock
+            deadline — the cross-process form a worker receives.  The
+            remaining budget is re-anchored onto this process's
+            monotonic clock.  Mutually exclusive with ``seconds``.
+
+    Yields the installed absolute monotonic deadline (or ``None``).
+    Nested scopes keep the tighter of the two deadlines.
+    """
+    if seconds is not None and epoch is not None:
+        raise ConfigError("deadline_scope takes seconds or epoch, not both")
+    if epoch is not None:
+        seconds = epoch - time.time()
+    previous = current_deadline()
+    if seconds is None:
+        installed = previous
+    else:
+        installed = time.monotonic() + seconds
+        if previous is not None:
+            installed = min(installed, previous)
+    _LOCAL.deadline = installed
+    try:
+        yield installed
+    finally:
+        _LOCAL.deadline = previous

@@ -1,0 +1,40 @@
+"""The ``lcmm serve`` compilation service.
+
+A zero-dependency daemon (stdlib asyncio, hand-rolled HTTP/1.1) that
+turns the compiler into a shared front door: compile and DSE jobs
+arrive as JSON, identical in-flight requests coalesce onto one job,
+warm artifacts come straight from the content-addressed
+:class:`~repro.cache.store.CompilationCache`, and misses run on a
+bounded worker pool under per-request deadlines.
+
+The module split mirrors the request's journey:
+
+* :mod:`repro.serve.http` — wire format (parsing, limits, responses).
+* :mod:`repro.serve.server` — admission: drain gate, tenant quotas,
+  bounded queue, slot wait; plus the read-only endpoints
+  (``/healthz``, ``/readyz``, ``/metrics``, ``/v1/stats``, traces).
+* :mod:`repro.serve.service` — execution: warm path, single-flight,
+  deadline propagation, retries, circuit breaker.
+* :mod:`repro.serve.jobs` — the picklable job bodies and worker pools.
+* :mod:`repro.serve.breaker` / :mod:`repro.serve.quota` — the two
+  self-contained protection primitives.
+
+Operational semantics (deadlines, shedding, breaker states, the full
+API) are documented in ``docs/serving.md``.
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.quota import QuotaManager, TokenBucket
+from repro.serve.server import CompileServer, ServerConfig, ServerThread
+from repro.serve.service import CompileService, ServiceConfig
+
+__all__ = [
+    "CircuitBreaker",
+    "CompileServer",
+    "CompileService",
+    "QuotaManager",
+    "ServerConfig",
+    "ServerThread",
+    "ServiceConfig",
+    "TokenBucket",
+]

@@ -1,0 +1,141 @@
+"""Circuit breaker around the compile pool.
+
+When the pool starts failing repeatedly — crashed workers, warm-up
+timeouts, a machine that cannot spawn processes — retrying every
+incoming request just queues more work behind a dead executor and turns
+one fault into a full-queue outage.  The breaker converts that failure
+mode into fast, honest shedding:
+
+* **closed** — normal operation; consecutive failures are counted.
+* **open** — after :attr:`failure_threshold` consecutive failures the
+  breaker rejects submissions outright for :attr:`reset_seconds`
+  (callers answer 429 with ``Retry-After``), giving the pool time to
+  rebuild without a thundering herd.
+* **half-open** — once the cool-down elapses, up to
+  :attr:`half_open_probes` requests are let through as probes.  One
+  success closes the circuit; one failure re-opens it and restarts the
+  cool-down.
+
+Warm cache hits never consult the breaker — a broken pool is no reason
+to refuse results that are already on disk.
+
+The clock is injectable so the chaos tests can step time instead of
+sleeping through cool-downs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing (thread-safe).
+
+    Args:
+        failure_threshold: Consecutive failures that open the circuit.
+        reset_seconds: Cool-down before half-open probing starts.
+        half_open_probes: Concurrent probes allowed while half-open.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.half_open_probes = max(1, half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+        #: Times the circuit transitioned to open (for /v1/stats).
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        """Current state, applying the open -> half-open timeout (locked)."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._state = HALF_OPEN
+            self._probes = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a new submission may proceed right now.
+
+        In half-open state each ``True`` consumes one probe slot; the
+        caller must follow up with :meth:`record_success` or
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return True
+            if state == OPEN:
+                return False
+            if self._probes < self.half_open_probes:
+                self._probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A submission completed; half-open success closes the circuit."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probes = 0
+
+    def record_failure(self) -> None:
+        """A submission failed; enough of them (re-)open the circuit."""
+        with self._lock:
+            state = self._effective_state()
+            if state == HALF_OPEN:
+                self._trip()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._probes = 0
+        self.opens += 1
+
+    def retry_after(self) -> float:
+        """Seconds until the circuit would next admit a probe (>= 0)."""
+        with self._lock:
+            if self._effective_state() != OPEN:
+                return 0.0
+            return max(0.0, self.reset_seconds - (self._clock() - self._opened_at))
+
+    def snapshot(self) -> dict:
+        """State for /v1/stats."""
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+            }

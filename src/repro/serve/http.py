@@ -1,0 +1,208 @@
+"""Minimal HTTP/1.1 on asyncio streams — the daemon's only wire format.
+
+Hand-rolled on purpose: the project ships with zero runtime
+dependencies, and the compile service needs exactly one verb pair
+(``GET``/``POST``), JSON bodies, keep-alive, and hard input limits.
+``http.server`` is thread-per-connection and ``aiohttp`` is a
+dependency, so the front door speaks the protocol itself.
+
+Hardening rules (the front door is the trust boundary):
+
+* The request head (request line + headers) is capped at
+  :data:`MAX_HEADER_BYTES`; a client that streams an unbounded header
+  block is rejected with 431 before anything is buffered past the cap.
+* Bodies are capped at :data:`MAX_BODY_BYTES` (413) and must be
+  ``Content-Length``-framed; ``Transfer-Encoding: chunked`` is refused
+  with 501 rather than half-implemented.
+* A malformed request line or header never raises past
+  :class:`HttpError` — the connection handler turns it into a labeled
+  4xx and closes, so no client input can wedge the accept loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "Request",
+    "json_response",
+    "read_request",
+    "response_bytes",
+]
+
+#: Cap on the request line + headers, bytes.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Cap on a request body, bytes.
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level rejection: carries the status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request.
+
+    Attributes:
+        method: Upper-cased verb.
+        path: Decoded path, query string stripped.
+        query: Decoded query parameters (last value wins).
+        headers: Headers with lower-cased names.
+        body: Raw body bytes (``b""`` when none).
+    """
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body parsed as JSON.
+
+        Raises:
+            HttpError: 400 on an empty or undecodable body.
+        """
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+async def _read_head(reader: asyncio.StreamReader) -> bytes | None:
+    """The raw head up to the blank line, or ``None`` on clean EOF."""
+    head = b""
+    while b"\r\n\r\n" not in head:
+        if len(head) > MAX_HEADER_BYTES:
+            raise HttpError(431, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+        chunk = await reader.read(4096)
+        if not chunk:
+            if head.strip():
+                raise HttpError(400, "connection closed mid-request")
+            return None
+        head += chunk
+    if head.index(b"\r\n\r\n") > MAX_HEADER_BYTES:
+        raise HttpError(431, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+    return head
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean connection end.
+
+    Raises:
+        HttpError: On any malformed or over-limit input (the caller
+            answers with the carried status and closes).
+    """
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    head, _, spill = head.partition(b"\r\n\r\n")
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise HttpError(400, "malformed request line") from exc
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked transfer encoding not supported")
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise HttpError(400, f"invalid Content-Length {raw_length!r}") from exc
+    if length < 0:
+        raise HttpError(400, f"invalid Content-Length {raw_length!r}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = spill
+    while len(body) < length:
+        chunk = await reader.read(length - len(body))
+        if not chunk:
+            raise HttpError(400, "connection closed mid-body")
+        body += chunk
+    parts = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=unquote(parts.path) or "/",
+        query={k: v for k, v in parse_qsl(parts.query)},
+        headers=headers,
+        body=body[:length],
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    headers: Mapping[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one complete response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: Any,
+    *,
+    headers: Mapping[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize a JSON response (sorted keys, trailing newline)."""
+    body = (json.dumps(payload, sort_keys=True, default=str) + "\n").encode()
+    return response_bytes(status, body, headers=headers, keep_alive=keep_alive)

@@ -1,0 +1,125 @@
+"""Per-tenant token-bucket quotas for the serving front door.
+
+A shared compile daemon has one scarce resource — worker slots — and one
+failure mode worth preventing at admission time: a single chatty client
+starving everyone else.  Each tenant (the ``tenant`` field of a request,
+defaulting to ``"default"``) gets a token bucket refilled at
+``rate`` requests/second up to ``burst`` capacity; an empty bucket sheds
+the request with 429 and an honest ``Retry-After``.
+
+The bucket map is LRU-bounded so an adversarial stream of fresh tenant
+names cannot grow memory without bound — the oldest idle bucket is
+evicted, which at worst re-grants an evicted tenant one fresh burst.
+
+Clocks are injectable; tests step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from repro.errors import ConfigError
+
+__all__ = ["QuotaManager", "TokenBucket"]
+
+
+class TokenBucket:
+    """One tenant's budget: ``rate`` tokens/second, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ConfigError(
+                "token bucket rate and burst must be positive",
+                details={"rate": rate, "burst": burst},
+            )
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; ``False`` sheds the request."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` would be available (0 if now)."""
+        self._refill()
+        deficit = tokens - self._tokens
+        return max(0.0, deficit / self.rate)
+
+
+class QuotaManager:
+    """LRU-bounded map of per-tenant buckets (thread-safe).
+
+    Args:
+        rate: Tokens/second per tenant; ``None`` disables quotas
+            entirely (every ``admit`` allows).
+        burst: Bucket capacity per tenant (defaults to ``max(rate, 1)``).
+        max_tenants: Bound on tracked buckets.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        max_tenants: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_tenants < 1:
+            raise ConfigError(
+                "max_tenants must be at least 1", details={"max_tenants": max_tenants}
+            )
+        self.rate = rate
+        self.burst = burst if burst is not None else (max(rate, 1.0) if rate else 1.0)
+        self.max_tenants = max_tenants
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def admit(self, tenant: str) -> tuple[bool, float]:
+        """``(allowed, retry_after_seconds)`` for one request by ``tenant``."""
+        if self.rate is None:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+                while len(self._buckets) > self.max_tenants:
+                    self._buckets.popitem(last=False)
+            self._buckets.move_to_end(tenant)
+            if bucket.try_acquire():
+                return True, 0.0
+            return False, bucket.retry_after()
+
+    def snapshot(self) -> dict:
+        """State for /v1/stats."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rate": self.rate,
+                "burst": self.burst if self.enabled else None,
+                "tenants": len(self._buckets),
+            }

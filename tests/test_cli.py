@@ -182,28 +182,32 @@ class TestCommands:
 
 
 class TestErrorHandling:
-    """ReproErrors become one-line stderr messages, not tracebacks."""
+    """ReproErrors become one-line stderr messages, not tracebacks.
+
+    User/configuration errors (unknown model, bad budget) exit 2;
+    internal failures exit 1 — see the README error-taxonomy table.
+    """
 
     def test_unknown_model_exits_nonzero(self, capsys):
-        assert main(["dse", "nosuchnet"]) == 1
+        assert main(["dse", "nosuchnet"]) == 2
         captured = capsys.readouterr()
         assert captured.err.startswith("error: ")
         assert "unknown model" in captured.err
         assert "Traceback" not in captured.err
 
     def test_unknown_model_lists_alternatives(self, capsys):
-        assert main(["export", "lenet"]) == 1
+        assert main(["export", "lenet"]) == 2
         err = capsys.readouterr().err
         assert "googlenet" in err  # actionable: names the known models
 
     def test_nonpositive_budget_exits_nonzero(self, capsys):
-        assert main(["dse", "googlenet", "--budget", "0"]) == 1
+        assert main(["dse", "googlenet", "--budget", "0"]) == 2
         err = capsys.readouterr().err
         assert err.startswith("error: ")
         assert "positive" in err
 
     def test_infeasible_budget_exits_nonzero(self, capsys):
-        assert main(["dse", "googlenet", "--budget", "0.00001"]) == 1
+        assert main(["dse", "googlenet", "--budget", "0.00001"]) == 2
         err = capsys.readouterr().err
         assert "no tile configuration" in err
 

@@ -142,6 +142,62 @@ class TestContextManager:
             assert armed["test.p"].hits == 1
 
 
+class TestCacheFaultPoints:
+    """The cache absorbs its own fault points: never fails a compile."""
+
+    def test_cache_get_fault_is_a_counted_miss(self, tmp_path):
+        from repro.cache.store import CompilationCache
+
+        primer = CompilationCache(tmp_path)
+        primer.put("a" * 64, {"x": 1})
+        # Fresh instance so the lookup must go to disk (no memory hit).
+        cache = CompilationCache(tmp_path)
+        with injected(FaultPlan("cache.get")):
+            assert cache.get("a" * 64) is None
+        assert cache.stats.errors == 1
+        assert cache.stats.misses == 1
+        # Disarmed: the artifact was never harmed.
+        assert cache.get("a" * 64) == {"x": 1}
+
+    def test_cache_put_fault_drops_disk_but_memory_serves(self, tmp_path):
+        from repro.cache.store import CompilationCache
+
+        cache = CompilationCache(tmp_path)
+        with injected(FaultPlan("cache.put")):
+            cache.put("b" * 64, {"y": 2})
+        assert cache.stats.errors == 1
+        assert cache.stats.stores == 1  # the store still counts
+        # Memory LRU remembers the value...
+        assert cache.get("b" * 64) == {"y": 2}
+        # ...but nothing reached disk: a fresh instance misses.
+        assert CompilationCache(tmp_path).get("b" * 64) is None
+
+    def test_compile_is_correct_under_cache_faults(self, tmp_path):
+        from repro.cache.batch import _design, standard_options
+        from repro.fingerprint import fingerprint
+        from repro.lcmm.framework import run_lcmm
+
+        graph, accel = _design("alexnet", "int8")
+        options = standard_options("dnnk")
+        clean = run_lcmm(graph, accel, options=options)
+        with injected(FaultPlan("cache.get"), FaultPlan("cache.put")):
+            from repro.serve.jobs import run_compile_job
+
+            payload = run_compile_job("alexnet", "dnnk", "int8", str(tmp_path))
+        assert payload["degradation_level"] == 0
+        assert payload["fingerprint"] == fingerprint(clean)
+
+    def test_disarm_restores_normal_cache_behaviour(self, tmp_path):
+        from repro.cache.store import CompilationCache
+
+        cache = CompilationCache(tmp_path)
+        with injected(FaultPlan("cache.put")):
+            cache.put("c" * 64, 1)
+        cache.put("c" * 64, 2)
+        assert CompilationCache(tmp_path).get("c" * 64) == 2
+        assert cache.stats.errors == 1  # only the armed write failed
+
+
 class TestWorkerHandoff:
     def test_active_plans_snapshot(self):
         plan = FaultPlan("test.p", mode="hang")
