@@ -141,6 +141,14 @@ def test_dse_pool_beats_serial_on_multicore():
     """
     cores = os.cpu_count() or 1
     if cores < 4:
+        # CI's dse-multicore job sets DSE_REQUIRE_MULTICORE=1 so the
+        # scaling regression cannot silently skip *everywhere* — a
+        # mis-provisioned runner fails loudly instead of green-skipping.
+        if os.environ.get("DSE_REQUIRE_MULTICORE"):
+            pytest.fail(
+                f"DSE_REQUIRE_MULTICORE is set but the runner has only "
+                f"{cores} core(s); the pool-scaling regression needs >=4"
+            )
         pytest.skip(
             f"pool-scaling regression needs a >=4-core runner, host has {cores}"
         )

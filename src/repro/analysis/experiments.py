@@ -21,14 +21,14 @@ EXPERIMENTS.md for the paper-vs-measured deltas this yields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.hw.precision import FP32, INT8, INT16, Precision
 from repro.ir.graph import ComputationGraph
 from repro.lcmm.framework import LCMMOptions, LCMMResult, run_lcmm
 from repro.lcmm.passes import pipeline_from_names
 from repro.lcmm.umm import UMMResult, run_umm
-from repro.models.zoo import get_model
+from repro.models.zoo import get_model, list_models
 from repro.perf.latency import LatencyModel
 from repro.perf.roofline import RooflineModel
 from repro.perf.systolic import AcceleratorConfig, SystolicArray
@@ -381,6 +381,14 @@ FIG8_PIPELINES: dict[str, tuple[str, ...] | None] = {
         "feature_reuse", "weight_prefetch", "allocate_splitting", "score",
         "placement",
     ),
+    "LCMM (fused)": (
+        "feature_reuse", "weight_prefetch", "allocate_splitting", "score",
+        "fuse_layers", "placement",
+    ),
+    "LCMM (fused+scheduled)": (
+        "feature_reuse", "weight_prefetch", "allocate_splitting", "score",
+        "fuse_layers", "placement", "transfer_schedule",
+    ),
 }
 
 
@@ -416,6 +424,107 @@ def run_fig8(precision: Precision = INT16) -> list[Fig8Series]:
         )
         series.append(Fig8Series(label=label, blocks=blocks, tops=tops))
     return series
+
+
+#: Tensor-residency budget headroom beyond the tile buffers for the
+#: fusion ablation (bytes).  Small enough that the constrained design
+#: cannot simply pin every intermediate on chip.
+FUSION_ABLATION_SRAM_HEADROOM = 2 * 1024 * 1024
+
+
+def fusion_ablation_design(
+    precision: Precision = INT8, style: str = "lcmm"
+) -> AcceleratorConfig:
+    """Bandwidth-constrained design point for the fusion ablation.
+
+    On the calibrated reference designs plain LCMM already reaches the
+    compute bound for most of the zoo (enough SRAM to pin everything),
+    so layer fusion has nothing left to elide.  The ablation therefore
+    halves the sustained DDR efficiency and caps the tensor-residency
+    budget (see :data:`FUSION_ABLATION_SRAM_HEADROOM`), recreating the
+    transfer-bound regime fusion targets while leaving the compute
+    model untouched.
+    """
+    base = reference_design("resnet152", precision, style)
+    return replace(
+        base,
+        name=f"fusion-ablation-{style}-{precision.name}",
+        ddr_efficiency=base.ddr_efficiency * 0.5,
+    )
+
+
+@dataclass(frozen=True)
+class FusionAblationRow:
+    """One zoo model's fusion ablation: UMM vs plain vs fused vs scheduled.
+
+    Latencies in milliseconds on the bandwidth-constrained design; the
+    ``improvement`` column is the fractional Eq.-1 gain of the
+    fused+scheduled pipeline over plain LCMM (0.0 when fusion and
+    scheduling found nothing to elide — a tie, never a regression).
+    """
+
+    model_name: str
+    umm_ms: float
+    plain_ms: float
+    fused_ms: float
+    fused_sched_ms: float
+    fused_edges: int
+    shortcut_edges: int
+    bytes_saved: int
+
+    @property
+    def improvement(self) -> float:
+        return 1.0 - self.fused_sched_ms / self.plain_ms
+
+
+def run_fusion_ablation(
+    models: tuple[str, ...] | None = None,
+    precision: Precision = INT8,
+) -> list[FusionAblationRow]:
+    """Ablate fused+scheduled vs plain LCMM vs UMM across the zoo.
+
+    Every configuration shares one bandwidth-constrained design (see
+    :func:`fusion_ablation_design`) and one residency budget, so the
+    only variable is the pass pipeline.  Monotonicity
+    ``fused_sched <= fused <= plain`` holds by construction — both new
+    passes are accept-if-improves.
+    """
+    names = tuple(models) if models is not None else tuple(list_models())
+    accel_umm = fusion_ablation_design(precision, "umm")
+    accel_lcmm = fusion_ablation_design(precision, "lcmm")
+    budget = accel_lcmm.tile_buffer_bytes() + FUSION_ABLATION_SRAM_HEADROOM
+    configs = {
+        "plain": LCMMOptions(sram_budget=budget),
+        "fused": LCMMOptions(sram_budget=budget, fuse_layers=True),
+        "fused_sched": LCMMOptions(
+            sram_budget=budget, fuse_layers=True, transfer_schedule=True
+        ),
+    }
+    rows = []
+    for model_name in names:
+        graph = get_model(model_name)
+        umm = run_umm(graph, accel_umm)
+        lcmm_model = LatencyModel(graph, accel_lcmm)
+        results = {
+            label: run_lcmm(
+                graph, accel_lcmm, options=options, model=lcmm_model
+            )
+            for label, options in configs.items()
+        }
+        edges = results["fused_sched"].fused_edges
+        rows.append(
+            FusionAblationRow(
+                model_name=model_name,
+                umm_ms=umm.latency * 1e3,
+                plain_ms=results["plain"].latency * 1e3,
+                fused_ms=results["fused"].latency * 1e3,
+                fused_sched_ms=results["fused_sched"].latency * 1e3,
+                fused_edges=len(edges),
+                shortcut_edges=sum(1 for e in edges if e.shortcut),
+                bytes_saved=sum(e.bytes_saved for e in edges),
+            )
+        )
+    return rows
 
 
 def run_fig2a(precision: Precision = INT8) -> RooflineModel:

@@ -2,9 +2,10 @@
 
 A production deployment compiles every (model, configuration) pair it
 serves ahead of time; this module is that front-end.  It enumerates the
-job matrix — by default the model zoo times the four standard
-configurations the golden-result suite pins (the UMM floor, plain DNNK,
-the greedy allocator, the full splitting pipeline) — shards the jobs
+job matrix — by default the model zoo times the standard configurations
+the golden-result suite pins (the UMM floor, plain DNNK, the greedy
+allocator, the full splitting pipeline, and the fusion-era fused /
+fused+scheduled pipelines) — shards the jobs
 over a process pool, and routes every compilation through a shared
 :class:`~repro.cache.store.CompilationCache` directory, so repeated runs
 (and concurrent workers racing on the same artifact) compile each unique
@@ -34,6 +35,7 @@ from repro.obs import spans as obs
 __all__ = [
     "BatchReport",
     "CompileOutcome",
+    "FUSED_CONFIGS",
     "STANDARD_CONFIGS",
     "batch_compile",
     "standard_options",
@@ -46,7 +48,14 @@ STANDARD_CONFIGS: dict[str, LCMMOptions | None] = {
     "dnnk": LCMMOptions(splitting=False),
     "greedy": LCMMOptions(use_greedy=True, splitting=False),
     "splitting": LCMMOptions(),
+    "fused": LCMMOptions(fuse_layers=True),
+    "fused_sched": LCMMOptions(fuse_layers=True, transfer_schedule=True),
 }
+
+#: Configurations whose golden fingerprints live in ``{model}.fused.json``
+#: rather than ``{model}.json`` — the fusion-era matrix is pinned
+#: separately so the pre-fusion golden files stay byte-identical.
+FUSED_CONFIGS = ("fused", "fused_sched")
 
 
 def standard_options(config: str) -> LCMMOptions | None:
@@ -125,7 +134,12 @@ class BatchReport:
         golden_dir = Path(golden_dir)
         problems: list[str] = []
         for outcome in self.outcomes:
-            path = golden_dir / f"{outcome.model}.json"
+            stem = (
+                f"{outcome.model}.fused"
+                if outcome.config in FUSED_CONFIGS
+                else outcome.model
+            )
+            path = golden_dir / f"{stem}.json"
             if not path.exists():
                 problems.append(f"{outcome.model}: no golden file {path}")
                 continue

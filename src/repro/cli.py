@@ -216,9 +216,17 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
 def _run_body(args: argparse.Namespace) -> None:
     cache = _open_cache(args.cache)
+    options = None
+    if args.fuse or args.schedule_transfers:
+        from repro.lcmm.options import LCMMOptions
+
+        options = LCMMOptions(
+            fuse_layers=args.fuse, transfer_schedule=args.schedule_transfers
+        )
     cmp = run_comparison(
         args.model,
         precision_by_name(args.precision),
+        options=options,
         strict=args.strict,
         fallback=not args.no_fallback,
         cache=cache,
@@ -233,6 +241,19 @@ def _run_body(args: argparse.Namespace) -> None:
           f"(URAM {cmp.lcmm.sram_usage.uram_utilization:.0%}, "
           f"BRAM {cmp.lcmm.sram_usage.bram_utilization:.0%})")
     print(f"POL:  {cmp.lcmm.percentage_onchip_layers(cmp.lcmm_model):.0%}")
+    if cmp.lcmm.fused_edges:
+        shortcuts = sum(1 for e in cmp.lcmm.fused_edges if e.shortcut)
+        saved = sum(e.bytes_saved for e in cmp.lcmm.fused_edges)
+        print(
+            f"Fused edges: {len(cmp.lcmm.fused_edges)} "
+            f"({shortcuts} shortcut-aware, {saved / 1e6:.2f} MB DDR elided)"
+        )
+    if cmp.lcmm.transfer_timeline is not None:
+        tl = cmp.lcmm.transfer_timeline
+        print(
+            f"Transfer schedule: {len(tl.records)} DMA streams, "
+            f"{tl.improvement * 1e3:.3f} ms hidden by prefetch windows"
+        )
     if cache is not None:
         print(f"Cache: {cache.stats.hits} hits, {cache.stats.misses} misses "
               f"({args.cache})")
@@ -714,6 +735,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the executed pipeline, per-pass timings and diagnostics",
     )
     prun.add_argument(
+        "--fuse",
+        action="store_true",
+        help="enable the fused-layer tiling pass (fuse_layers)",
+    )
+    prun.add_argument(
+        "--schedule-transfers",
+        action="store_true",
+        help="enable the DMA transfer scheduling pass (transfer_schedule)",
+    )
+    prun.add_argument(
         "--strict",
         action="store_true",
         help="run invariant checks after every pass (fail fast on corruption)",
@@ -794,7 +825,8 @@ def build_parser() -> argparse.ArgumentParser:
     pbc.add_argument(
         "--configs",
         default=None,
-        help="comma-separated config labels (default: umm,dnnk,greedy,splitting)",
+        help="comma-separated config labels (default: all standard configs "
+        "incl. fused/fused_sched)",
     )
     pbc.add_argument("--precision", default="int8")
     pbc.add_argument(

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # avoid import cycles; these are type-only imports
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "GEMM_CACHE_SCHEMA_VERSION",
     "LEGACY_CACHE_SCHEMA_VERSION",
     "accel_fingerprint",
     "compile_key",
@@ -62,22 +63,50 @@ __all__ = [
 #: :data:`LEGACY_CACHE_SCHEMA_VERSION` — warm caches built before the
 #: refactor stay warm (see :func:`_schema_for`); only graphs that
 #: actually use the new kinds carry the bumped tag.
-CACHE_SCHEMA_VERSION = 2
+#:
+#: Version 3 marks the fusion era: the ``fuse_layers`` and
+#: ``transfer_schedule`` passes.  Both are off by default and, when off,
+#: results are bit-identical to the version-1/2 pipeline, so keys for
+#: runs that do not enable them keep hashing under their pre-fusion
+#: schema (and :func:`options_fingerprint` omits the disabled flags) —
+#: every previously written cache entry stays warm.  Only runs that
+#: actually enable a fusion-era pass carry the bumped tag.
+CACHE_SCHEMA_VERSION = 3
+
+#: Schema tag of the op-generic-IR era (GEMM/attention graphs, no fusion).
+GEMM_CACHE_SCHEMA_VERSION = 2
 
 #: Schema tag of the conv-only era, still used for conv-family graphs.
 LEGACY_CACHE_SCHEMA_VERSION = 1
 
+#: Option fields introduced by schema version 3.  When every one of them
+#: holds its disabled default the run is indistinguishable from a
+#: pre-fusion compilation, so they are folded into neither the options
+#: fingerprint nor the schema tag — old cache keys stay byte-stable.
+_FUSION_OPTION_FIELDS = ("fuse_layers", "transfer_schedule")
 
-def _schema_for(graph: "ComputationGraph") -> int:
-    """Cache schema version a graph's keys hash under (see above)."""
+
+def _uses_fusion(options: "LCMMOptions | None") -> bool:
+    """Whether an options object enables any schema-3 (fusion-era) pass."""
+    if options is None:
+        return False
+    return any(getattr(options, name, False) for name in _FUSION_OPTION_FIELDS)
+
+
+def _schema_for(
+    graph: "ComputationGraph", options: "LCMMOptions | None" = None
+) -> int:
+    """Cache schema version a (graph, options) pair hashes under (see above)."""
     from repro.io.serialize import (  # deferred: io imports lcmm
         GRAPH_FORMAT_VERSION,
         graph_format_version,
     )
 
+    if _uses_fusion(options):
+        return CACHE_SCHEMA_VERSION
     if graph_format_version(graph) == GRAPH_FORMAT_VERSION:
         return LEGACY_CACHE_SCHEMA_VERSION
-    return CACHE_SCHEMA_VERSION
+    return GEMM_CACHE_SCHEMA_VERSION
 
 
 def _digest(payload: Any) -> str:
@@ -117,6 +146,14 @@ def fingerprint(result: "LCMMResult") -> dict:
             (name, float(value).hex()) for name, value in result.fractions.items()
         ),
     }
+    fused = getattr(result, "fused_edges", ())
+    if fused:
+        # Only fused results carry the key: pre-fusion fingerprints (and
+        # every checked-in golden file) hash the exact same payload they
+        # always did.
+        allocation["fused"] = sorted(
+            [edge.producer, edge.consumer, edge.tensor] for edge in fused
+        )
     digest = _digest(allocation)
     return {
         "allocation_sha256": digest,
@@ -217,6 +254,10 @@ def options_fingerprint(options: "LCMMOptions | None") -> str:
     payload = {}
     for f in fields(options):
         value = getattr(options, f.name)
+        if f.name in _FUSION_OPTION_FIELDS and not value:
+            # Disabled fusion-era flags hash exactly like the pre-fusion
+            # dataclass that did not have them: old keys stay stable.
+            continue
         payload[f.name] = float(value).hex() if isinstance(value, float) else value
     return _digest(payload)
 
@@ -240,7 +281,7 @@ def compile_key(
     """
     return _digest(
         {
-            "schema": _schema_for(graph),
+            "schema": _schema_for(graph, options),
             "kind": "compile",
             "graph": graph_fingerprint(graph),
             "accel": accel_fingerprint(accel),

@@ -119,6 +119,12 @@ class LCMMResult:
     degradation_level: int = 0
     #: Labels of the abandoned attempts, in order (e.g. ``("dnnk-splitting",)``).
     degradation_path: tuple[str, ...] = ()
+    #: Accepted fused-layer tiling edges (empty unless
+    #: ``LCMMOptions.fuse_layers`` ran and improved the objective).
+    fused_edges: tuple = ()
+    #: Scheduled DMA timeline (``None`` unless
+    #: ``LCMMOptions.transfer_schedule`` ran).
+    transfer_timeline: object | None = None
 
     @property
     def tops(self) -> float:
@@ -160,6 +166,7 @@ def package_result(ctx: CompilationContext, manager: PassManager) -> LCMMResult:
     placement = ctx.require("placement")
     feature = ctx.get("feature")
     prefetch = ctx.get("prefetch")
+    fusion = ctx.get("fusion")
     return LCMMResult(
         graph_name=ctx.graph.name,
         accel=ctx.accel,
@@ -179,6 +186,8 @@ def package_result(ctx: CompilationContext, manager: PassManager) -> LCMMResult:
         diagnostics=tuple(ctx.diagnostics),
         pipeline_description=manager.description(),
         pass_timings=manager.timings(),
+        fused_edges=fusion.edges if fusion is not None else (),
+        transfer_timeline=ctx.get("transfer_schedule"),
     )
 
 
@@ -243,12 +252,16 @@ def _degradation_chain(
         primary = "dnnk-splitting"
     else:
         primary = "dnnk"
+    if pipeline is None and (options.fuse_layers or options.transfer_schedule):
+        primary = f"fused-{primary}"
     safe = replace(
         options,
         splitting=False,
         use_greedy=False,
         prefetch_refinement=0,
         fractional_fill=False,
+        fuse_layers=False,
+        transfer_schedule=False,
     )
     chain: list[tuple[str, LCMMOptions | None]] = [(primary, options)]
     if primary != "dnnk":

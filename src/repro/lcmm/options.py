@@ -45,6 +45,22 @@ class LCMMOptions:
             the latency model per query.  Results are bit-for-bit
             identical either way; the naive route exists as the test
             oracle.
+        fuse_layers: After scoring, run the fused-layer tiling pass
+            (:class:`repro.lcmm.passes.standard.FuseLayersPass`):
+            producer/consumer chains whose intermediate tile fits the
+            provisioned input tile buffer merge their tile loops, so the
+            intermediate never round-trips through DRAM (LoopTree-style;
+            shortcut tensors get ShortcutFusion-style reuse-aware
+            handling).  Off by default — the plain pipeline stays
+            byte-identical to the paper's flow.
+        transfer_schedule: After placement, run the DMA transfer
+            scheduling pass
+            (:class:`repro.lcmm.passes.standard.TransferSchedulePass`):
+            demand transfers are slotted onto the three interface
+            channels with double-buffered prefetch windows (a node's
+            loads may start while its predecessor computes), which is
+            monotone non-increasing vs the bulk Eq. 1 timeline.  Off by
+            default.
     """
 
     feature_reuse: bool = True
@@ -56,3 +72,5 @@ class LCMMOptions:
     prefetch_refinement: int = 0
     fractional_fill: bool = False
     use_engine: bool = True
+    fuse_layers: bool = False
+    transfer_schedule: bool = False

@@ -41,12 +41,15 @@ from repro.lcmm.passes.standard import (
     DNNKAllocatePass,
     FeatureReusePass,
     FractionalFillPass,
+    FuseLayersPass,
+    FusionDecision,
     GreedyAllocatePass,
     Placement,
     PlacementPass,
     RefinementPass,
     ScorePass,
     SplittingAllocatePass,
+    TransferSchedulePass,
     WeightPrefetchPass,
     compute_residuals,
     default_pipeline,
@@ -71,6 +74,7 @@ __all__ = [
     "registered_passes",
     "AllocationDecision",
     "AllocationScore",
+    "FusionDecision",
     "Placement",
     "FeatureReusePass",
     "WeightPrefetchPass",
@@ -81,6 +85,8 @@ __all__ = [
     "RefinementPass",
     "PlacementPass",
     "FractionalFillPass",
+    "FuseLayersPass",
+    "TransferSchedulePass",
     "compute_residuals",
     "evaluate_allocation",
     "default_pipeline",

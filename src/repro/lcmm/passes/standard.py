@@ -18,7 +18,19 @@ registered :class:`~repro.lcmm.passes.core.Pass`:
 * :class:`PlacementPass` — block-granular URAM/BRAM placement, publishes
   ``"placement"``;
 * :class:`FractionalFillPass` — the partial-residency extension,
-  publishes ``"fractions"`` and republishes ``"score"``.
+  publishes ``"fractions"`` and republishes ``"score"``;
+* :class:`FuseLayersPass` — LoopTree-style fused-layer tiling
+  (:mod:`repro.lcmm.fusion`): adjacent producer/consumer pairs whose
+  intermediate tile fits the provisioned input tile buffer stream
+  through on-chip instead of round-tripping DRAM, with reuse-aware
+  shortcut handling; publishes ``"fusion"`` and, when the fused
+  candidate wins, swaps the context's model/engine and republishes
+  ``"allocation"``/``"score"``;
+* :class:`TransferSchedulePass` — SoMa-style DMA scheduling
+  (:mod:`repro.sim.schedule`): every transfer is slotted onto its DDR
+  channel with a double-buffered prefetch window; publishes
+  ``"transfer_schedule"`` and republishes ``"score"`` when the
+  scheduled makespan beats the bulk-synchronous Eq. 1 timeline.
 
 All numeric work is byte-identical to the pre-pipeline monolith: the
 passes call the same technique functions with the same inputs in the
@@ -32,11 +44,12 @@ from dataclasses import dataclass, field, replace
 
 from repro.errors import AllocationError
 from repro.hw.sram import SRAMUsage, blocks_for, BRAM36_BYTES
-from repro.ir.tensor import weight_tensor_name
+from repro.ir.tensor import TensorKind, weight_tensor_name
 from repro.lcmm.buffers import PhysicalBuffer, VirtualBuffer
 from repro.lcmm.coloring import color_buffers
 from repro.lcmm.dnnk import DNNKResult, dnnk_allocate, greedy_allocate
 from repro.lcmm.feature_reuse import FeatureReuseResult, feature_reuse_pass
+from repro.lcmm.fusion import FusedEdge, apply_fusion, find_fusion_candidates
 from repro.lcmm.interference import InterferenceGraph
 from repro.lcmm.passes.core import CompilationContext, Pass, register_pass
 from repro.lcmm.prefetch import (
@@ -47,6 +60,11 @@ from repro.lcmm.prefetch import (
 from repro.lcmm.splitting import buffer_splitting_pass, combine_buffers
 from repro.perf.engine import AllocationEngine
 from repro.perf.latency import LatencyModel
+from repro.sim.schedule import (
+    TransferTimeline,
+    demand_bytes,
+    schedule_transfers,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -85,6 +103,29 @@ class AllocationScore:
     residuals: dict[str, float]
     latency: float
     node_latencies: dict[str, float]
+
+
+@dataclass(frozen=True)
+class FusionDecision:
+    """The ``"fusion"`` artifact: what the fused-tiling pass decided.
+
+    Attributes:
+        edges: Accepted fusion edges (empty when fusion found no legal
+            candidates or the fused evaluation did not improve Eq. 1).
+        bytes_saved: DDR bytes the accepted edges remove per inference.
+        candidates: Legal edges considered (accepted or not).
+        reallocated: The winning fused evaluation re-ran the allocator
+            on the fused model (vs keeping the incumbent on-chip set).
+    """
+
+    edges: tuple[FusedEdge, ...] = ()
+    bytes_saved: int = 0
+    candidates: int = 0
+    reallocated: bool = False
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self.edges)
 
 
 @dataclass(frozen=True)
@@ -470,6 +511,166 @@ def _verify_score(pass_name: str, ctx: CompilationContext) -> None:
 
 
 @register_pass
+class FuseLayersPass(Pass):
+    """Fused-layer tiling: adjacent pairs stream through on-chip.
+
+    Finds every legal fusion edge (:func:`repro.lcmm.fusion.
+    find_fusion_candidates`), derives the fused latency model with the
+    fused streams zeroed, and evaluates two fused candidates exactly:
+
+    * **keep** — the incumbent on-chip set re-scored on the fused model,
+    * **reallocate** — the allocator re-run against the fused model, so
+      the knapsack (and through it the DSE sweep and the cache) sees the
+      post-fusion marginal gains of every buffer.
+
+    The better of the two replaces the context's model, engine and
+    score **only when it strictly improves** the Eq. 1 objective —
+    zeroing a shortcut producer's read can shrink prefetch hiding
+    windows, so monotonicity is enforced by evaluation, not assumed.
+    """
+
+    name = "fuse_layers"
+    requires = ("allocation", "score")
+    produces = ("fusion",)
+
+    def run(self, ctx: CompilationContext) -> None:
+        allocation: AllocationDecision = ctx.require("allocation")
+        score: AllocationScore = ctx.require("score")
+        prefetch = ctx.get("prefetch")
+        if prefetch is None:
+            prefetch = empty_prefetch_result()
+
+        edges = find_fusion_candidates(ctx.model)
+        if not edges:
+            ctx.put("fusion", FusionDecision())
+            ctx.diagnose(
+                self.name,
+                "fusion-none",
+                "no legal fusion candidates in the schedule",
+            )
+            return
+
+        fused_model = apply_fusion(ctx.model, edges)
+        fused_engine = (
+            AllocationEngine(fused_model, stats=ctx.stats)
+            if ctx.engine is not None
+            else None
+        )
+        # Candidate "keep": the incumbent on-chip set on the fused model.
+        keep_residuals, keep_latency = evaluate_allocation(
+            fused_model, prefetch, score.onchip, fused_engine
+        )
+        # Candidate "reallocate": the allocator re-run on the fused model.
+        if ctx.options.use_greedy:
+            fused_dnnk = greedy_allocate(
+                allocation.buffers, fused_model, ctx.capacity, engine=fused_engine
+            )
+        else:
+            fused_dnnk = dnnk_allocate(
+                allocation.buffers,
+                fused_model,
+                ctx.capacity,
+                ctx.options.granularity,
+                engine=fused_engine,
+            )
+        reall_residuals, reall_latency = evaluate_allocation(
+            fused_model, prefetch, fused_dnnk.onchip_tensors, fused_engine
+        )
+
+        reallocate = reall_latency < keep_latency - 1e-15
+        best = reall_latency if reallocate else keep_latency
+        if best >= score.latency - 1e-15:
+            ctx.put("fusion", FusionDecision(candidates=len(edges)))
+            ctx.diagnose(
+                self.name,
+                "fusion-rejected",
+                f"fusion of {len(edges)} edges rejected: Δlatency ≥ 0 "
+                f"(fused {best:.3e}s vs {score.latency:.3e}s)",
+                candidates=len(edges),
+                fused_latency=best,
+                best_latency=score.latency,
+            )
+            return
+
+        if reallocate:
+            onchip, residuals, latency = (
+                fused_dnnk.onchip_tensors, reall_residuals, reall_latency,
+            )
+            ctx.put(
+                "allocation",
+                AllocationDecision(
+                    buffers=allocation.buffers,
+                    result=fused_dnnk,
+                    splitting_iterations=allocation.splitting_iterations,
+                ),
+            )
+        else:
+            onchip, residuals, latency = (
+                score.onchip, keep_residuals, keep_latency,
+            )
+            if fused_engine is not None:
+                # The engine is parked on the losing reallocation trial.
+                fused_engine.set_state(onchip, residuals)
+
+        # The fused model is now the model of record: every downstream
+        # pass (refinement, placement, fractional fill, scheduling) and
+        # the packaged result evaluate against the fused transfers.
+        ctx.model = fused_model
+        ctx.engine = fused_engine
+        node_latencies = _node_latencies(
+            fused_model, onchip, residuals, fused_engine
+        )
+        ctx.put(
+            "score",
+            AllocationScore(
+                onchip=onchip,
+                residuals=residuals,
+                latency=latency,
+                node_latencies=node_latencies,
+            ),
+        )
+        decision = FusionDecision(
+            edges=tuple(edges),
+            bytes_saved=sum(e.bytes_saved for e in edges),
+            candidates=len(edges),
+            reallocated=reallocate,
+        )
+        ctx.put("fusion", decision)
+        shortcuts = sum(1 for e in edges if e.shortcut)
+        ctx.diagnose(
+            self.name,
+            "fusion-accepted",
+            f"fused {len(edges)} edges ({shortcuts} shortcut-aware, "
+            f"{decision.bytes_saved} DDR bytes elided): latency "
+            f"{score.latency:.3e}s -> {latency:.3e}s"
+            + (" via reallocation" if reallocate else ""),
+            edges=len(edges),
+            shortcuts=shortcuts,
+            bytes_saved=decision.bytes_saved,
+            latency=latency,
+            previous_latency=score.latency,
+            reallocated=reallocate,
+        )
+
+    def verify(self, ctx: CompilationContext) -> None:
+        decision: FusionDecision = ctx.require("fusion")
+        if decision.accepted:
+            for edge in decision.edges:
+                for slot in ctx.model.layer(edge.consumer).slots:
+                    if (
+                        slot.kind is TensorKind.IFMAP
+                        and slot.tensor == edge.tensor
+                        and slot.bytes != 0
+                    ):
+                        raise AllocationError(
+                            f"fused edge {edge.producer!r} -> "
+                            f"{edge.consumer!r} still streams its read",
+                            pass_name=self.name,
+                        )
+        _verify_score(self.name, ctx)
+
+
+@register_pass
 class RefinementPass(Pass):
     """Prefetch fixpoint: re-derive hiding windows from the achieved schedule.
 
@@ -740,6 +941,89 @@ class FractionalFillPass(Pass):
         _verify_score(self.name, ctx)
 
 
+@register_pass
+class TransferSchedulePass(Pass):
+    """DMA transfer scheduling: rewrite the simulator's transfer timeline.
+
+    Runs after placement with the final allocation fixed; list-schedules
+    every transfer onto its DDR channel with double-buffered prefetch
+    windows (:func:`repro.sim.schedule.schedule_transfers`) and, when
+    the scheduled makespan beats the bulk-synchronous Eq. 1 total,
+    republishes the score with the scheduled latency.  The schedule is
+    monotone non-increasing by construction, so this pass can only
+    tighten the result.
+    """
+
+    name = "transfer_schedule"
+    requires = ("score", "placement")
+    produces = ("transfer_schedule",)
+
+    def run(self, ctx: CompilationContext) -> None:
+        score: AllocationScore = ctx.require("score")
+        fractions = ctx.get("fractions", {})
+        timeline = schedule_transfers(
+            ctx.model, score.onchip, score.residuals, fractions
+        )
+        ctx.put("transfer_schedule", timeline)
+        if timeline.makespan < score.latency - 1e-15:
+            ctx.put(
+                "score",
+                replace(
+                    score,
+                    latency=timeline.makespan,
+                    node_latencies=timeline.node_latencies(),
+                ),
+            )
+            ctx.diagnose(
+                self.name,
+                "schedule-accepted",
+                f"scheduled {len(timeline.records)} transfers: latency "
+                f"{score.latency:.3e}s -> {timeline.makespan:.3e}s "
+                f"({timeline.improvement / score.latency:.1%} hidden by "
+                "prefetch windows)",
+                transfers=len(timeline.records),
+                latency=timeline.makespan,
+                previous_latency=score.latency,
+            )
+        else:
+            ctx.diagnose(
+                self.name,
+                "schedule-neutral",
+                f"scheduled {len(timeline.records)} transfers: timeline "
+                "already tight (no overlap available)",
+                transfers=len(timeline.records),
+                latency=score.latency,
+            )
+
+    def verify(self, ctx: CompilationContext) -> None:
+        timeline: TransferTimeline = ctx.require("transfer_schedule")
+        score: AllocationScore = ctx.require("score")
+        if timeline.makespan > timeline.baseline + 1e-12:
+            raise AllocationError(
+                f"scheduled makespan {timeline.makespan} exceeds the "
+                f"bulk-synchronous baseline {timeline.baseline}",
+                pass_name=self.name,
+            )
+        expected = demand_bytes(
+            ctx.model, score.onchip, score.residuals, ctx.get("fractions", {})
+        )
+        if timeline.total_bytes != expected:
+            raise AllocationError(
+                f"scheduled timeline moves {timeline.total_bytes} bytes, "
+                f"allocation demands {expected}",
+                pass_name=self.name,
+            )
+        for kind in (TensorKind.IFMAP, TensorKind.WEIGHT, TensorKind.OFMAP):
+            recs = timeline.channel_records(kind)
+            for a, b in zip(recs, recs[1:]):
+                if b.start < a.end - 1e-15:
+                    raise AllocationError(
+                        f"overlapping transfers on the {kind.value} channel",
+                        pass_name=self.name,
+                    )
+        _verify_score(self.name, ctx)
+
+
 def default_pipeline(options) -> list[Pass]:
     """The pass list :func:`repro.lcmm.framework.run_lcmm` executes.
 
@@ -761,9 +1045,13 @@ def default_pipeline(options) -> list[Pass]:
     else:
         passes.append(DNNKAllocatePass())
     passes.append(ScorePass())
+    if options.fuse_layers:
+        passes.append(FuseLayersPass())
     if options.weight_prefetch and options.prefetch_refinement > 0:
         passes.append(RefinementPass())
     passes.append(PlacementPass())
     if options.fractional_fill:
         passes.append(FractionalFillPass())
+    if options.transfer_schedule:
+        passes.append(TransferSchedulePass())
     return passes

@@ -164,6 +164,26 @@ class LatencyModel:
         for name in graph.compute_schedule():
             self._layers[name] = self._characterize(name)
 
+    @classmethod
+    def from_layers(
+        cls,
+        graph: ComputationGraph,
+        accel: AcceleratorConfig,
+        layers: dict[str, LayerLatency],
+    ) -> "LatencyModel":
+        """Build a model from an already-characterised layer table.
+
+        Used by passes that rewrite the transfer decomposition (layer
+        fusion zeroes fused slots) without re-running characterisation:
+        the derived model answers every allocation query against the
+        edited slots while keeping the graph/accel identity.
+        """
+        model = cls.__new__(cls)
+        model.graph = graph
+        model.accel = accel
+        model._layers = dict(layers)
+        return model
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

@@ -10,6 +10,21 @@ analytical model (tests assert they agree within the contention margin).
 """
 
 from repro.sim.events import EventKind, TimelineEvent
+from repro.sim.schedule import (
+    TransferRecord,
+    TransferTimeline,
+    demand_bytes,
+    schedule_transfers,
+)
 from repro.sim.simulator import SimulationResult, simulate
 
-__all__ = ["EventKind", "TimelineEvent", "SimulationResult", "simulate"]
+__all__ = [
+    "EventKind",
+    "TimelineEvent",
+    "SimulationResult",
+    "simulate",
+    "TransferRecord",
+    "TransferTimeline",
+    "demand_bytes",
+    "schedule_transfers",
+]

@@ -32,7 +32,7 @@ import math
 from dataclasses import dataclass
 
 from repro.ir.layer import Attention, ComputeKind, Conv2D, Gemm
-from repro.ir.tensor import feature_tensor_name, weight_tensor_name
+from repro.ir.tensor import TensorKind
 from repro.perf.latency import LatencyModel
 from repro.perf.systolic import gemm_compute_cycles
 
@@ -113,6 +113,29 @@ def _pipeline_makespan(
     )
 
 
+def _slot_demand_bytes(
+    model: LatencyModel, node: str, onchip: frozenset[str]
+) -> tuple[int, int, int]:
+    """Per-interface demand bytes of a node, read from its slots.
+
+    Sourcing the payloads from the characterised slots (rather than
+    recomputing them from graph shapes) keeps the tile simulation
+    bit-identical to the bulk model *and* makes it fusion-aware for
+    free: a fused stream's slot carries zero bytes, so its tiles load
+    in zero time — exactly the merged-loop behaviour.
+    """
+    totals = {TensorKind.IFMAP: 0, TensorKind.WEIGHT: 0, TensorKind.OFMAP: 0}
+    for slot in model.layer(node).slots:
+        if slot.tensor in onchip:
+            continue
+        totals[slot.kind] += slot.bytes
+    return (
+        totals[TensorKind.IFMAP],
+        totals[TensorKind.WEIGHT],
+        totals[TensorKind.OFMAP],
+    )
+
+
 def _simulate_conv_tiles(
     model: LatencyModel,
     node: str,
@@ -122,25 +145,16 @@ def _simulate_conv_tiles(
     graph = model.graph
     accel = model.accel
     tile = accel.tile
-    elem = accel.precision.bytes
     out = graph.output_shape(node)
 
-    n_tm, n_sp_reload = model._conv_reloads(node, layer)
     n_m = tile.output_channel_trips(out.channels)
     n_h = math.ceil(out.height / tile.th)
     n_w = math.ceil(out.width / tile.tw)
     iterations = n_m * n_h * n_w
 
-    in_shape = graph.input_shapes(node)[0]
-    if_tensor = feature_tensor_name(graph.feature_sources(node)[0])
-    wt_tensor = weight_tensor_name(node)
-    of_tensor = feature_tensor_name(node)
-
-    total_if_bytes = 0 if if_tensor in onchip else in_shape.volume * elem * n_tm
-    total_wt_bytes = 0 if wt_tensor in onchip else (
-        layer.weight_shape.volume * elem * n_sp_reload
+    total_if_bytes, total_wt_bytes, total_of_bytes = _slot_demand_bytes(
+        model, node, onchip
     )
-    total_of_bytes = 0 if of_tensor in onchip else out.volume * elem
 
     macs = layer.macs(graph.input_shapes(node))
     effective = accel.array.effective_macs(out.channels, layer.in_channels)
@@ -164,11 +178,8 @@ def _simulate_gemm_tiles(
     leading multiply; for attention the downstream composed GEMMs run out
     of the tile buffers, so they add compute time but no extra streams.
     """
-    graph = model.graph
     accel = model.accel
     tile = accel.tile
-    elem = accel.precision.bytes
-    out = graph.output_shape(node)
 
     dims_list = layer.gemm_dims()
     if isinstance(dims_list, tuple):
@@ -176,19 +187,11 @@ def _simulate_gemm_tiles(
     else:
         lead, components = dims_list, (dims_list,)
 
-    n_if, n_wt = model._gemm_reloads(lead)
     iterations = tile.gemm_row_trips(lead.m) * tile.gemm_output_trips(lead.p)
 
-    in_shape = graph.input_shapes(node)[0]
-    if_tensor = feature_tensor_name(graph.feature_sources(node)[0])
-    wt_tensor = weight_tensor_name(node)
-    of_tensor = feature_tensor_name(node)
-
-    total_if_bytes = 0 if if_tensor in onchip else in_shape.volume * elem * n_if
-    total_wt_bytes = 0 if wt_tensor in onchip else (
-        layer.weight_shape.volume * elem * n_wt
+    total_if_bytes, total_wt_bytes, total_of_bytes = _slot_demand_bytes(
+        model, node, onchip
     )
-    total_of_bytes = 0 if of_tensor in onchip else out.volume * elem
 
     cycles = sum(gemm_compute_cycles(d, accel.array, tile) for d in components)
     total_compute = cycles / accel.frequency

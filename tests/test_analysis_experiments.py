@@ -164,16 +164,29 @@ class TestFig8Claims:
     def series(self):
         return {s.label: s for s in run_fig8()}
 
-    def test_four_series_nine_blocks(self, series):
-        assert len(series) == 4
+    def test_six_series_nine_blocks(self, series):
+        assert len(series) == 6
         for s in series.values():
             assert len(s.blocks) == 9
 
-    def test_full_lcmm_best_everywhere(self, series):
+    def test_full_lcmm_best_of_paper_variants(self, series):
+        # Fig. 8's original claim: full LCMM dominates the UMM baseline
+        # and both single-technique variants (the fusion-era series may
+        # only improve further, checked separately below).
         full = series["LCMM"]
-        for label, s in series.items():
-            for a, b in zip(full.tops, s.tops):
+        for label in ("UMM", "LCMM (feature reuse)", "LCMM (weight prefetching)"):
+            for a, b in zip(full.tops, series[label].tops):
                 assert a >= b - 1e-9
+
+    def test_fusion_series_never_lose_to_full_lcmm(self, series):
+        # Both fusion-era passes are accept-if-improves, so per block
+        # their throughput is at least full LCMM's.
+        full = series["LCMM"]
+        fused = series["LCMM (fused)"]
+        sched = series["LCMM (fused+scheduled)"]
+        for a, b, c in zip(full.tops, fused.tops, sched.tops):
+            assert b >= a - 1e-9
+            assert c >= b - 1e-9
 
     def test_feature_reuse_helps_early_blocks(self, series):
         # Fig. 8(a): clear improvement from inception_3a onwards.

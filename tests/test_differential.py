@@ -1,0 +1,220 @@
+"""Differential-testing harness for the fusion-era pass pipeline.
+
+Three independent oracles check every randomized compilation:
+
+* **engine vs naive** — the incremental :class:`AllocationEngine` and
+  the naive re-evaluator must produce bit-identical results for the
+  same options (``use_engine`` is an implementation switch, never a
+  semantics switch);
+* **naive re-evaluation** — the published latency must be reproducible
+  from the result's own allocation decisions alone: rebuild the fused
+  model from ``fused_edges``, re-run Eq. 1 (and the transfer scheduler
+  when enabled) from scratch, compare bit-for-bit;
+* **monotonicity** — enabling ``fuse_layers`` / ``transfer_schedule``
+  never worsens the Eq.-1 objective (both passes are
+  accept-if-improves, so this is an end-to-end check that the gate
+  actually gates).
+
+The golden-compatibility and cache-key classes pin the other half of
+the PR's contract: with both passes disabled, fingerprints and cache
+keys are byte-identical to the pre-fusion era.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.experiments import BENCHMARKS, reference_design
+from repro.fingerprint import (
+    compile_key,
+    fingerprint,
+    options_fingerprint,
+    sweep_key,
+)
+from repro.hw.precision import INT8
+from repro.lcmm.framework import LCMMOptions, run_lcmm
+from repro.lcmm.fusion import apply_fusion
+from repro.models.zoo import get_model, list_models
+from repro.perf.latency import LatencyModel
+from repro.sim import schedule_transfers
+
+from tests.conftest import small_accel
+from tests.test_properties import random_dags
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Option combinations exercised by every differential property.  The
+#: sram budget keeps the small test design from simply pinning every
+#: tensor (which would leave fusion nothing to do).
+_BUDGET = 256 * 1024
+OPTION_COMBOS = (
+    LCMMOptions(sram_budget=_BUDGET),
+    LCMMOptions(sram_budget=_BUDGET, splitting=False),
+    LCMMOptions(sram_budget=_BUDGET, use_greedy=True, splitting=False),
+    LCMMOptions(sram_budget=_BUDGET, fuse_layers=True),
+    LCMMOptions(sram_budget=_BUDGET, fuse_layers=True, splitting=False),
+    LCMMOptions(sram_budget=_BUDGET, transfer_schedule=True),
+    LCMMOptions(
+        sram_budget=_BUDGET, fuse_layers=True, transfer_schedule=True
+    ),
+    LCMMOptions(
+        sram_budget=_BUDGET,
+        fuse_layers=True,
+        transfer_schedule=True,
+        fractional_fill=True,
+    ),
+)
+
+
+def _naive_latency(result, model: LatencyModel) -> float:
+    """Re-derive the published latency from the result's decisions alone.
+
+    Rebuilds the fused model from ``fused_edges``, replays Eq. 1, and
+    replays the transfer scheduler's accept-if-improves gate — sharing
+    no code path with the pipeline's incremental engine.
+    """
+    if result.fused_edges:
+        model = apply_fusion(model, result.fused_edges)
+    base = model.total_latency(
+        result.onchip_tensors, result.residuals, result.fractions
+    )
+    if result.transfer_timeline is not None:
+        timeline = schedule_transfers(
+            model, result.onchip_tensors, result.residuals, result.fractions
+        )
+        if timeline.makespan < base - 1e-15:
+            return timeline.makespan
+    return base
+
+
+class TestDifferential:
+    @given(random_dags(), st.sampled_from(OPTION_COMBOS))
+    @settings(max_examples=25, deadline=None)
+    def test_engine_matches_naive_bit_for_bit(self, graph, options):
+        accel = small_accel(ddr_efficiency=0.25)
+        model = LatencyModel(graph, accel)
+        from dataclasses import replace
+
+        engine = run_lcmm(
+            graph, accel, options=replace(options, use_engine=True),
+            model=model, strict=True, fallback=False,
+        )
+        naive = run_lcmm(
+            graph, accel, options=replace(options, use_engine=False),
+            model=model, strict=True, fallback=False,
+        )
+        assert engine.latency == naive.latency
+        assert engine.onchip_tensors == naive.onchip_tensors
+        assert engine.residuals == naive.residuals
+        assert engine.fractions == naive.fractions
+        assert fingerprint(engine) == fingerprint(naive)
+
+    @given(random_dags(), st.sampled_from(OPTION_COMBOS))
+    @settings(max_examples=25, deadline=None)
+    def test_latency_reproducible_from_decisions(self, graph, options):
+        accel = small_accel(ddr_efficiency=0.25)
+        model = LatencyModel(graph, accel)
+        result = run_lcmm(
+            graph, accel, options=options, model=model,
+            strict=True, fallback=False,
+        )
+        assert result.latency == _naive_latency(result, model)
+
+    @given(random_dags())
+    @settings(max_examples=25, deadline=None)
+    def test_fusion_monotone_on_eq1(self, graph):
+        accel = small_accel(ddr_efficiency=0.25)
+        model = LatencyModel(graph, accel)
+
+        def latency(**flags):
+            return run_lcmm(
+                graph, accel, model=model, strict=True, fallback=False,
+                options=LCMMOptions(sram_budget=_BUDGET, **flags),
+            ).latency
+
+        plain = latency()
+        fused = latency(fuse_layers=True)
+        sched = latency(fuse_layers=True, transfer_schedule=True)
+        assert fused <= plain
+        assert sched <= fused
+
+
+class TestGoldenCompatibility:
+    """``fuse_layers`` off reproduces the golden files without
+    ``--update-golden`` — explicitly-disabled fusion flags are
+    byte-identical to the pre-fusion dataclass."""
+
+    @pytest.mark.parametrize("model_name", list_models())
+    def test_fusion_off_matches_golden(self, model_name):
+        graph = get_model(model_name)
+        design_key = model_name if model_name in BENCHMARKS else "resnet152"
+        accel = reference_design(design_key, INT8, "lcmm")
+        result = run_lcmm(
+            graph, accel,
+            options=LCMMOptions(fuse_layers=False, transfer_schedule=False),
+        )
+        golden = json.loads(
+            (GOLDEN_DIR / f"{model_name}.json").read_text()
+        )
+        assert fingerprint(result) == golden["splitting"]
+
+
+class TestCacheKeyStability:
+    """Pinned pre-fusion digests: the schema bump must not move any key
+    derived with fusion disabled.  Every constant below was captured on
+    the commit *before* the fusion passes landed."""
+
+    def test_options_fingerprints_stable(self):
+        assert options_fingerprint(LCMMOptions()) == (
+            "c34020dfa49686b300065c514f817ff12731e127ae5cb9f996f2a80421ac93d5"
+        )
+        assert options_fingerprint(None) == (
+            "213321f6407d5c210349dc48206377dc12530736bd67bb3cd1be5f1808b3cfb5"
+        )
+        assert options_fingerprint(LCMMOptions(splitting=False)) == (
+            "151f61dfad678391448d13ac5df952f3382734b6755f3635426c1573644f1662"
+        )
+        assert options_fingerprint(
+            LCMMOptions(use_greedy=True, splitting=False)
+        ) == (
+            "b2f83ed7ba3270ec175bb9e0b26b247566303e937d2d288f136395f2cfa82669"
+        )
+
+    def test_compile_keys_stable(self):
+        graph = get_model("squeezenet")
+        accel = reference_design("resnet152", INT8, "lcmm")
+        assert compile_key(
+            graph, accel, LCMMOptions(), extra={"strict": False}
+        ) == (
+            "0e31f34b25759c13745246bc42e0f18d887637f83b8b12e091903b490717357d"
+        )
+        assert compile_key(graph, accel, None) == (
+            "68b5b5374855ae7ae6a64433ad86548492e9946f6868bd36a3bc078b90bc23da"
+        )
+        assert sweep_key(graph, accel) == (
+            "5680b6d28f3654886cba3be994f5d485126109f513ab29ac9fe12f4a65bc96ce"
+        )
+
+    def test_gemm_compile_key_stable(self):
+        graph = get_model("bert_base")
+        accel = reference_design("resnet152", INT8, "lcmm")
+        assert compile_key(
+            graph, accel, LCMMOptions(), extra={"strict": False}
+        ) == (
+            "ee0bc097099d32bcb150b6f1fc37f0f0e07dc497547b375211dc1e4dfd939e32"
+        )
+
+    def test_fusion_options_change_keys(self):
+        graph = get_model("squeezenet")
+        accel = reference_design("resnet152", INT8, "lcmm")
+        plain = compile_key(graph, accel, LCMMOptions())
+        fused = compile_key(graph, accel, LCMMOptions(fuse_layers=True))
+        sched = compile_key(
+            graph, accel,
+            LCMMOptions(fuse_layers=True, transfer_schedule=True),
+        )
+        assert len({plain, fused, sched}) == 3

@@ -19,6 +19,7 @@ import pytest
 
 from repro.fingerprint import (
     CACHE_SCHEMA_VERSION,
+    GEMM_CACHE_SCHEMA_VERSION,
     LEGACY_CACHE_SCHEMA_VERSION,
     accel_fingerprint,
     compile_key,
@@ -253,7 +254,8 @@ class TestCacheKeyStability:
     """The schema-bump satellite: bump without invalidating conv caches."""
 
     def test_schema_bumped(self):
-        assert CACHE_SCHEMA_VERSION == 2
+        assert CACHE_SCHEMA_VERSION == 3
+        assert GEMM_CACHE_SCHEMA_VERSION == 2
         assert LEGACY_CACHE_SCHEMA_VERSION == 1
 
     def test_component_fingerprints_stable(self):
@@ -284,7 +286,7 @@ class TestCacheKeyStability:
 
         graph = get_model("bert_base")
         accel = default_accelerator()
-        assert _schema_for(graph) == CACHE_SCHEMA_VERSION
+        assert _schema_for(graph) == GEMM_CACHE_SCHEMA_VERSION
         assert _schema_for(get_model("resnet50")) == LEGACY_CACHE_SCHEMA_VERSION
         legacy_style = _digest(
             {

@@ -26,7 +26,7 @@ import repro.lcmm.passes.standard  # noqa: F401
 import repro.perf.dse  # noqa: F401
 import repro.perf.engine  # noqa: F401
 from repro.errors import ReproError
-from repro.lcmm.framework import run_lcmm, umm_only_result
+from repro.lcmm.framework import LCMMOptions, run_lcmm, umm_only_result
 from repro.lcmm.validate import validate_result
 from repro.models.zoo import get_model, list_models
 from repro.perf.latency import LatencyModel
@@ -148,6 +148,79 @@ class TestUmmFloor:
         validate_result(result, model)
         assert result.latency <= model.umm_latency() + 1e-12
         assert result.pipeline_description == "umm-only"
+
+
+class TestFusionDegradation:
+    """Faults in the fusion-era passes walk the full fallback chain.
+
+    A fused pipeline (``fuse_layers`` + ``transfer_schedule``) must
+    degrade *fused -> unfused -> greedy -> UMM floor*: the fused attempt
+    is abandoned whole (its label is recorded in ``degradation_path``),
+    the landed result carries no fused edges, and stacking more faults
+    keeps pushing the run down the same chain it would walk without
+    fusion.
+    """
+
+    FUSED_OPTIONS = LCMMOptions(fuse_layers=True, transfer_schedule=True)
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize(
+        "point", ["pass.fuse_layers", "pass.transfer_schedule"]
+    )
+    def test_fused_fault_lands_unfused(self, model_name, point):
+        graph, accel, model = _build(model_name)
+        with injected(FaultPlan(point, mode="raise", seed=CHAOS_SEED)) as armed:
+            result = run_lcmm(
+                graph, accel, model=model, options=self.FUSED_OPTIONS
+            )
+            assert armed[point].fires >= 1
+        validate_result(result, model)
+        assert result.degradation_level == 1
+        assert result.degradation_path == ("fused-dnnk-splitting",)
+        assert result.fused_edges == ()
+        assert result.transfer_timeline is None
+        assert result.latency <= model.umm_latency() + 1e-12
+
+    def test_stacked_faults_walk_the_whole_chain(self):
+        graph, accel, model = _build("squeezenet")
+        chain = [
+            ("pass.fuse_layers",),
+            ("pass.fuse_layers", "pass.allocate_dnnk"),
+            ("pass.fuse_layers", "pass.allocate_dnnk", "pass.allocate_greedy"),
+        ]
+        paths = []
+        for points in chain:
+            plans = [
+                FaultPlan(p, mode="raise", seed=CHAOS_SEED) for p in points
+            ]
+            with injected(*plans):
+                result = run_lcmm(
+                    graph, accel, model=model, options=self.FUSED_OPTIONS
+                )
+            validate_result(result, model)
+            assert result.degradation_level == len(points)
+            assert result.fused_edges == ()
+            assert result.latency <= model.umm_latency() + 1e-12
+            paths.append(result.degradation_path)
+        assert paths[0] == ("fused-dnnk-splitting",)
+        # Each extra fault extends the recorded path by the next link.
+        assert paths[1][: len(paths[0])] == paths[0] and len(paths[1]) == 2
+        assert paths[2][: len(paths[1])] == paths[1] and len(paths[2]) == 3
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_transient_fusion_fault_recovers(self, model_name):
+        graph, accel, model = _build(model_name)
+        plan = FaultPlan(
+            "pass.fuse_layers", mode="raise", seed=CHAOS_SEED, max_fires=1
+        )
+        with injected(plan) as armed:
+            result = run_lcmm(
+                graph, accel, model=model, options=self.FUSED_OPTIONS
+            )
+        assert armed[plan.point].fires == 1
+        validate_result(result, model)
+        assert result.degradation_level >= 1
+        assert result.degradation_path[0] == "fused-dnnk-splitting"
 
 
 class TestPersistentPoolLifecycle:
