@@ -16,6 +16,7 @@ Installed as the ``lcmm`` console script::
     lcmm export resnet50 -o alloc.json     # allocation report for codegen
     lcmm doublebuffer        # legacy double-buffer baseline on linear nets
     lcmm batch resnet152 --images 16       # steady-state throughput
+    lcmm pipeline resnet152 --devices 4 --link-gbps 12.5   # multi-die chain
     lcmm run googlenet --trace trace.json  # Chrome trace of the compilation
     lcmm stats googlenet     # span/metric profile of one compilation
     lcmm run googlenet --cache .lcmm-cache # content-addressed result cache
@@ -427,6 +428,70 @@ def _batch_body(args: argparse.Namespace) -> None:
           f"{umm.steady_image_latency / batch.steady_image_latency:.2f}x")
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> None:
+    _traced(args.trace, lambda: _pipeline_body(args))
+
+
+def _pipeline_body(args: argparse.Namespace) -> None:
+    from repro.perf.partition import (
+        InterDieLink,
+        design_partition,
+        partition_batched_latency,
+    )
+
+    graph = _load_model(args.model)
+    design_key = args.model if args.model in BENCHMARKS else "resnet152"
+    accel = reference_design(design_key, precision_by_name(args.precision), "lcmm")
+    try:
+        link = None if args.no_link else InterDieLink(
+            gbps=args.link_gbps, efficiency=args.link_efficiency
+        )
+    except ValueError as exc:
+        from repro.errors import ConfigError
+
+        raise ConfigError(str(exc)) from exc
+    result = design_partition(graph, accel, args.devices, link=link)
+    print(
+        f"Multi-die pipeline on {graph.name} ({args.precision}), "
+        f"{result.num_devices} of {result.devices_requested} requested dies"
+    )
+    if result.link is not None:
+        print(
+            f"Inter-die link: {result.link.gbps:g} GB/s at "
+            f"{result.link.efficiency:.0%} efficiency"
+        )
+    if result.fell_back:
+        print(f"Fell back to single die: {result.fell_back}")
+    print(
+        format_table(
+            ("Die", "Nodes", "SRAM", "Compute(ms)", "Recv(MB)", "Send(MB)",
+             "Link(ms)", "Stage(ms)", "Bound"),
+            [
+                (
+                    s.index,
+                    len(s.nodes),
+                    f"{s.lcmm.sram_utilization:.0%}",
+                    f"{s.steady_compute_latency * 1e3:.3f}",
+                    f"{s.recv_bytes / 2**20:.2f}",
+                    f"{s.send_bytes / 2**20:.2f}",
+                    f"{max(s.recv_latency, s.send_latency) * 1e3:.3f}",
+                    f"{s.steady_latency * 1e3:.3f}",
+                    "link" if s.link_bound else "compute",
+                )
+                for s in result.stages
+            ],
+        )
+    )
+    batch = partition_batched_latency(result, args.images)
+    print(f"Image latency (pipeline fill): {result.image_latency * 1e3:.3f} ms")
+    print(f"Steady-state period:           {result.period * 1e3:.3f} ms "
+          f"({result.steady_state_throughput:.1f} img/s)")
+    if result.num_devices > 1:
+        print(f"Speedup vs single die:         {result.speedup_vs_single:.2f}x")
+    print(f"Batch of {batch.batch}: {batch.total_latency * 1e3:.3f} ms total, "
+          f"{batch.amortized_latency * 1e3:.3f} ms/img amortized")
+
+
 def _cmd_batch_compile(args: argparse.Namespace) -> None:
     _traced(args.trace, lambda: _batch_compile_body(args))
 
@@ -812,6 +877,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a Chrome trace of the batch analysis to PATH",
     )
     pbatch.set_defaults(func=_cmd_batch)
+
+    ppipe = sub.add_parser(
+        "pipeline", help="multi-die layer-pipelined partitioning"
+    )
+    ppipe.add_argument("model", choices=list_models())
+    ppipe.add_argument("--precision", default="int8")
+    ppipe.add_argument(
+        "--devices", type=int, default=2, help="dies in the chain (1-8)"
+    )
+    ppipe.add_argument(
+        "--link-gbps",
+        type=float,
+        default=12.5,
+        help="per-direction inter-die link bandwidth, GB/s "
+        "(12.5 = a 100 GbE chain)",
+    )
+    ppipe.add_argument(
+        "--link-efficiency",
+        type=float,
+        default=1.0,
+        help="achievable fraction of the raw link bandwidth (0, 1]",
+    )
+    ppipe.add_argument(
+        "--no-link",
+        action="store_true",
+        help="disable the link model (degrades to the single-die design)",
+    )
+    ppipe.add_argument(
+        "--images", type=int, default=16, help="batch size for the fill profile"
+    )
+    ppipe.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a Chrome trace of the partitioning to PATH",
+    )
+    ppipe.set_defaults(func=_cmd_pipeline)
 
     pbc = sub.add_parser(
         "batch-compile",

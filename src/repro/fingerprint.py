@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # avoid import cycles; these are type-only imports
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "FUSION_CACHE_SCHEMA_VERSION",
     "GEMM_CACHE_SCHEMA_VERSION",
     "LEGACY_CACHE_SCHEMA_VERSION",
     "accel_fingerprint",
@@ -47,6 +48,7 @@ __all__ = [
     "fingerprint",
     "graph_fingerprint",
     "options_fingerprint",
+    "pipeline_key",
     "sweep_key",
     "tile_key",
 ]
@@ -71,7 +73,19 @@ __all__ = [
 #: schema (and :func:`options_fingerprint` omits the disabled flags) —
 #: every previously written cache entry stays warm.  Only runs that
 #: actually enable a fusion-era pass carry the bumped tag.
-CACHE_SCHEMA_VERSION = 3
+#:
+#: Version 4 marks the partition era: multi-die layer-pipelined
+#: compilation (:func:`pipeline_key`).  Partitioning is a separate entry
+#: point, not an options flag, and a single-die request compiles
+#: bit-identically to the plain flow, so *only* multi-die pipeline keys
+#: carry the bumped tag: :func:`compile_key`/:func:`sweep_key` digests —
+#: fusion-era ones included, which keep hashing under
+#: :data:`FUSION_CACHE_SCHEMA_VERSION` — are byte-stable across the bump
+#: and every previously written cache entry stays warm.
+CACHE_SCHEMA_VERSION = 4
+
+#: Schema tag of the fusion era, still used for fusion-enabled runs.
+FUSION_CACHE_SCHEMA_VERSION = 3
 
 #: Schema tag of the op-generic-IR era (GEMM/attention graphs, no fusion).
 GEMM_CACHE_SCHEMA_VERSION = 2
@@ -103,7 +117,7 @@ def _schema_for(
     )
 
     if _uses_fusion(options):
-        return CACHE_SCHEMA_VERSION
+        return FUSION_CACHE_SCHEMA_VERSION
     if graph_format_version(graph) == GRAPH_FORMAT_VERSION:
         return LEGACY_CACHE_SCHEMA_VERSION
     return GEMM_CACHE_SCHEMA_VERSION
@@ -303,6 +317,41 @@ def sweep_key(graph: "ComputationGraph", base: "AcceleratorConfig") -> str:
             "kind": "tile-sweep",
             "graph": graph_fingerprint(graph),
             "accel": accel_fingerprint(base, include_tile=False),
+        }
+    )
+
+
+def pipeline_key(
+    graph: "ComputationGraph",
+    accel: "AcceleratorConfig",
+    options: "LCMMOptions | None",
+    devices: int = 1,
+    link: Any = None,
+) -> str:
+    """Identity of a multi-die pipelined compilation.
+
+    With partitioning disabled — one device, or no link model, exactly
+    the cases :func:`~repro.perf.partition.design_partition` degrades to
+    the single-die flow — this *is* :func:`compile_key`: the digest is
+    byte-identical to the pre-partition era, so every previously written
+    cache entry stays warm.  Only a genuine multi-die request folds the
+    partition payload (device count, per-link bandwidth and efficiency)
+    into a schema-:data:`CACHE_SCHEMA_VERSION` digest.
+    """
+    if devices <= 1 or link is None:
+        return compile_key(graph, accel, options)
+    return _digest(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": "pipeline",
+            "graph": graph_fingerprint(graph),
+            "accel": accel_fingerprint(accel),
+            "options": options_fingerprint(options),
+            "devices": devices,
+            "link": {
+                "gbps": float(link.gbps).hex(),
+                "efficiency": float(link.efficiency).hex(),
+            },
         }
     )
 

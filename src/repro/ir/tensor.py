@@ -136,3 +136,23 @@ def feature_tensor_name(producer: str) -> str:
 def weight_tensor_name(node: str) -> str:
     """Canonical name of the weight tensor consumed by ``node``."""
     return f"w:{node}"
+
+
+def is_feature_tensor_name(name: str) -> bool:
+    """Whether ``name`` follows the canonical feature-tensor convention.
+
+    Defined in terms of :func:`feature_tensor_name` so a change to the
+    naming scheme cannot silently diverge from the membership test.
+    """
+    _, sep, producer = name.partition(":")
+    return bool(sep) and bool(producer) and name == feature_tensor_name(producer)
+
+
+def is_weight_tensor_name(name: str) -> bool:
+    """Whether ``name`` follows the canonical weight-tensor convention.
+
+    Defined in terms of :func:`weight_tensor_name` so a change to the
+    naming scheme cannot silently diverge from the membership test.
+    """
+    _, sep, node = name.partition(":")
+    return bool(sep) and bool(node) and name == weight_tensor_name(node)

@@ -32,6 +32,13 @@ from repro.perf.space import (
     small_space,
 )
 from repro.perf.batching import BatchResult, batched_latency, umm_batched_latency
+from repro.perf.partition import (
+    DieStage,
+    InterDieLink,
+    PartitionResult,
+    design_partition,
+    partition_batched_latency,
+)
 from repro.perf.pipeline import PipelineResult, PipelineStage, design_pipeline
 
 __all__ = [
@@ -63,6 +70,11 @@ __all__ = [
     "BatchResult",
     "batched_latency",
     "umm_batched_latency",
+    "DieStage",
+    "InterDieLink",
+    "PartitionResult",
+    "design_partition",
+    "partition_batched_latency",
     "PipelineResult",
     "PipelineStage",
     "design_pipeline",

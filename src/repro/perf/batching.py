@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ir.tensor import weight_tensor_name
+from repro.ir.tensor import is_weight_tensor_name
 from repro.lcmm.framework import LCMMResult
 from repro.perf.latency import LatencyModel
 
@@ -62,7 +62,7 @@ def persistent_weight_tensors(result: LCMMResult) -> frozenset[str]:
     persistent = set()
     for pbuf in result.physical_buffers:
         names = pbuf.tensor_names
-        if len(names) == 1 and names[0].startswith("w:"):
+        if len(names) == 1 and is_weight_tensor_name(names[0]):
             persistent.add(names[0])
     return frozenset(persistent)
 

@@ -29,6 +29,7 @@ from repro.ir.graph import ComputationGraph
 from repro.ir.tensor import feature_tensor_name
 from repro.lcmm.framework import LCMMOptions, LCMMResult, run_lcmm
 from repro.perf.latency import LatencyModel
+from repro.perf.partition import stage_subgraph
 from repro.perf.systolic import AcceleratorConfig, SystolicArray
 
 
@@ -41,8 +42,10 @@ def balanced_contiguous_partition(weights: list[float], k: int) -> list[int]:
 
     Returns:
         Boundary indices: run ``i`` covers ``weights[b[i]:b[i+1]]`` for the
-        implied boundary list ``[0] + returned + [len(weights)]`` of length
-        ``k - 1``.
+        implied boundary list ``[0] + returned + [len(weights)]``.  Always
+        exactly ``k - 1`` strictly increasing cuts — degenerate weight
+        vectors are padded deterministically, so a ``k``-stage request
+        never silently yields a shallower pipeline.
 
     Raises:
         ValueError: On an infeasible ``k``.
@@ -73,9 +76,31 @@ def balanced_contiguous_partition(weights: list[float], k: int) -> list[int]:
         else:
             lo = mid
     _, cuts = runs_needed(hi)
-    # Fewer cuts than requested is fine (tiny tail stages add nothing);
-    # pad deterministically by splitting the largest remaining runs is
-    # unnecessary for throughput, so keep the natural cuts.
+    # The greedy walk can emit fewer than k - 1 cuts (degenerate weight
+    # vectors: zeros, one dominant item), but callers size pipelines by
+    # len(cuts) + 1 and must get the depth they asked for.  Pad
+    # deterministically to exactly k runs: split the heaviest splittable
+    # run at the position that best balances its halves (leftmost on ties).
+    while len(cuts) < k - 1:
+        boundaries = [0] + cuts + [len(weights)]
+        best_run, best_sum = -1, -1.0
+        for r in range(len(boundaries) - 1):
+            lo_b, hi_b = boundaries[r], boundaries[r + 1]
+            if hi_b - lo_b < 2:
+                continue
+            run_sum = sum(weights[lo_b:hi_b])
+            if run_sum > best_sum:
+                best_run, best_sum = r, run_sum
+        lo_b, hi_b = boundaries[best_run], boundaries[best_run + 1]
+        total = sum(weights[lo_b:hi_b])
+        split, split_cost = lo_b + 1, float("inf")
+        left = 0.0
+        for pos in range(lo_b + 1, hi_b):
+            left += weights[pos - 1]
+            cost = max(left, total - left)
+            if cost < split_cost:
+                split, split_cost = pos, cost
+        cuts = sorted(cuts + [split])
     return cuts
 
 
@@ -129,6 +154,26 @@ def _stage_array(base: SystolicArray, k: int) -> SystolicArray:
     return SystolicArray(rows=base.rows, cols=cols, simd=base.simd)
 
 
+def _clamp_to_budget(array: SystolicArray, mac_budget: int) -> SystolicArray:
+    """Shrink an array until it fits a per-stage MAC budget.
+
+    Halves the cheapest dimension first (columns, then SIMD, then rows)
+    so the shape degrades the way :func:`_stage_array` grows it.  The
+    1x1x1 array always fits any positive budget.
+    """
+    rows, cols, simd = array.rows, array.cols, array.simd
+    while rows * cols * simd > mac_budget:
+        if cols > 1:
+            cols //= 2
+        elif simd > 1:
+            simd //= 2
+        elif rows > 1:
+            rows //= 2
+        else:
+            break
+    return SystolicArray(rows=rows, cols=cols, simd=simd)
+
+
 #: Candidate dimensions for per-stage array tuning.
 _ROW_CANDIDATES = (8, 16, 32, 64)
 _COL_CANDIDATES = (1, 2, 4, 8, 16)
@@ -151,8 +196,13 @@ def tune_stage_array(
         graph: The network.
         nodes: The stage's executed nodes.
         mac_budget: Maximum MAC units the stage's array may use.
-        fallback: Shape to fall back on if nothing fits the budget.
+        fallback: Shape to fall back on if nothing fits the budget.  The
+            fallback is clamped to ``mac_budget`` too — the uniform
+            split divides only the column dimension, so ``rows * simd``
+            alone can exceed a deep pipeline's per-stage share, and an
+            unclamped fallback would overcommit the device's DSPs.
     """
+    fallback = _clamp_to_budget(fallback, max(1, mac_budget))
     jobs = []
     for name in nodes:
         layer = graph.layer(name)
@@ -295,13 +345,17 @@ def design_pipeline(
         else:
             array = uniform_array
         accel = _stage_accel(base, array, idx)
-        model = LatencyModel(graph, accel)
-        lcmm = run_lcmm(graph, accel, options=stage_options, model=model)
-        # Restrict the allocation to tensors whose nodes live in this
-        # stage; the whole-graph run over-approximates, but only this
-        # stage's nodes contribute to its latency, so foreign tensors are
-        # inert.
-        latency = _stage_latency(model, nodes, lcmm, streamed_frozen)
+        # LCMM runs on the stage *subgraph*, so the stage's SRAM slice
+        # can only hold tensors its own nodes live with.  (The previous
+        # whole-graph run let a stage pin foreign-stage tensors into its
+        # slice — burning budget on tensors that never cut its latency.)
+        if len(nodes) == len(schedule):
+            stage_graph = graph  # single stage: bit-identical to plain LCMM
+        else:
+            stage_graph = stage_subgraph(graph, list(nodes), idx)
+        model = LatencyModel(stage_graph, accel)
+        lcmm = run_lcmm(stage_graph, accel, options=stage_options, model=model)
+        latency = _stage_latency(model, list(nodes), lcmm, streamed_frozen)
         stages.append(
             PipelineStage(
                 index=idx, nodes=list(nodes), accel=accel, lcmm=lcmm, latency=latency

@@ -19,6 +19,7 @@ import pytest
 
 from repro.fingerprint import (
     CACHE_SCHEMA_VERSION,
+    FUSION_CACHE_SCHEMA_VERSION,
     GEMM_CACHE_SCHEMA_VERSION,
     LEGACY_CACHE_SCHEMA_VERSION,
     accel_fingerprint,
@@ -254,7 +255,8 @@ class TestCacheKeyStability:
     """The schema-bump satellite: bump without invalidating conv caches."""
 
     def test_schema_bumped(self):
-        assert CACHE_SCHEMA_VERSION == 3
+        assert CACHE_SCHEMA_VERSION == 4
+        assert FUSION_CACHE_SCHEMA_VERSION == 3
         assert GEMM_CACHE_SCHEMA_VERSION == 2
         assert LEGACY_CACHE_SCHEMA_VERSION == 1
 

@@ -157,8 +157,17 @@ class TestStageArrayTuner:
 
     def test_fallback_on_weightless_stage(self, model):
         graph = model.graph
-        fallback = SystolicArray(8, 8, 8)
-        assert tune_stage_array(graph, [], 256, fallback) is fallback
+        fallback = SystolicArray(8, 8, 8)  # 512 MACs: over the 256 budget
+        array = tune_stage_array(graph, [], 256, fallback)
+        # The fallback path is budget-enforced too: an 8x8x8 fallback
+        # must come back halved, not overcommit the stage's DSP share.
+        assert array.macs <= 256
+        assert array == SystolicArray(8, 4, 8)
+
+    def test_fitting_fallback_returned_unchanged(self, model):
+        graph = model.graph
+        fallback = SystolicArray(8, 4, 8)  # 256 MACs: exactly on budget
+        assert tune_stage_array(graph, [], 256, fallback) == fallback
 
     def test_matches_channel_geometry(self):
         """A 24-channel workload prefers rows that divide 24 over wide

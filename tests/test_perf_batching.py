@@ -89,3 +89,27 @@ class TestPersistence:
         lcmm_batch = batched_latency(model, lcmm, 16)
         umm_batch = umm_batched_latency(model, 16)
         assert lcmm_batch.total_latency < umm_batch.total_latency
+
+    def test_persistence_uses_canonical_weight_naming(self):
+        """Membership is decided by the canonical tensor-name helpers,
+        not a hard-coded prefix: every persistent tensor round-trips
+        through weight_tensor_name, and no feature tensor qualifies."""
+        from repro.analysis.experiments import reference_design
+        from repro.hw.precision import INT8
+        from repro.ir.tensor import (
+            is_weight_tensor_name,
+            weight_tensor_name,
+        )
+        from repro.models.zoo import get_model
+
+        graph = get_model("googlenet")
+        accel = reference_design("googlenet", INT8, "lcmm")
+        lcmm = run_lcmm(graph, accel, model=LatencyModel(graph, accel))
+        persistent = persistent_weight_tensors(lcmm)
+        assert persistent, "googlenet should pin at least one weight buffer"
+        for name in persistent:
+            assert is_weight_tensor_name(name)
+            node = name.partition(":")[2]
+            assert name == weight_tensor_name(node)
+            assert graph.layer(node).has_weights
+        assert not any(name.startswith("f:") for name in persistent)

@@ -5,6 +5,7 @@ import pytest
 from repro.perf.pipeline import (
     balanced_contiguous_partition,
     design_pipeline,
+    tune_stage_array,
 )
 from repro.perf.latency import LatencyModel
 
@@ -150,3 +151,91 @@ class TestPipelineDesign:
         graph, accel = setup
         with pytest.raises(ValueError):
             design_pipeline(graph, accel, 2, sram_share=0.0)
+
+
+class TestPartitionPadding:
+    """Degenerate weight vectors must still yield exactly k-1 cuts."""
+
+    def test_zero_prefix_pads_to_requested_stages(self):
+        cuts = balanced_contiguous_partition([0, 0, 0, 10], 3)
+        assert len(cuts) == 2
+        assert cuts == sorted(set(cuts))
+        assert all(0 < c < 4 for c in cuts)
+
+    def test_all_zero_weights(self):
+        cuts = balanced_contiguous_partition([0, 0, 0, 0], 4)
+        assert cuts == [1, 2, 3]
+
+    def test_one_heavy_item_among_zeros(self):
+        # The binary search puts every zero in one run; padding must
+        # split deterministically without moving the bottleneck.
+        cuts = balanced_contiguous_partition([10, 0, 0, 0, 0], 4)
+        assert len(cuts) == 3
+        boundaries = [0] + cuts + [5]
+        sums = [sum([10, 0, 0, 0, 0][i:j]) for i, j in zip(boundaries, boundaries[1:])]
+        assert max(sums) == 10
+
+    def test_padding_is_deterministic(self):
+        weights = [0.0, 5.0, 0.0, 0.0, 5.0, 0.0]
+        first = balanced_contiguous_partition(weights, 5)
+        assert all(
+            balanced_contiguous_partition(weights, 5) == first for _ in range(5)
+        )
+
+    def test_every_feasible_k_gets_exact_cut_count(self):
+        for weights in ([0, 0, 0, 10], [10, 0, 0, 0], [0, 7, 0, 7, 0], [1] * 6):
+            for k in range(1, len(weights) + 1):
+                cuts = balanced_contiguous_partition(list(weights), k)
+                assert len(cuts) == k - 1, (weights, k, cuts)
+                assert cuts == sorted(set(cuts))
+                assert all(0 < c < len(weights) for c in cuts)
+
+
+class TestTuneStageArrayBudget:
+    """The fallback path must respect the per-stage MAC budget too."""
+
+    def test_weightless_stage_clamps_fallback(self):
+        from repro.perf.systolic import SystolicArray
+
+        graph = build_chain(num_convs=4)
+        fat = SystolicArray(rows=64, cols=16, simd=16)  # 16384 MACs
+        array = tune_stage_array(graph, [], mac_budget=100, fallback=fat)
+        assert array.macs <= 100
+
+    def test_budget_below_smallest_candidate_clamps_fallback(self):
+        from repro.perf.systolic import SystolicArray
+
+        graph = build_chain(num_convs=4)
+        nodes = graph.compute_schedule()[:2]
+        fat = SystolicArray(rows=64, cols=16, simd=16)
+        # Smallest tuning candidate is 8x1x2 = 16 MACs: nothing fits 10,
+        # so the fallback path runs and must come back within budget.
+        array = tune_stage_array(graph, nodes, mac_budget=10, fallback=fat)
+        assert array.macs <= 10
+
+    def test_tuned_arrays_always_within_budget(self):
+        graph = build_chain(num_convs=4, channels=96, hw=14)
+        nodes = graph.compute_schedule()
+        accel = small_accel()
+        for budget in (1, 16, 100, 1000, accel.array.macs):
+            array = tune_stage_array(
+                graph, nodes, mac_budget=budget, fallback=accel.array
+            )
+            assert array.macs <= budget, budget
+
+
+class TestStageLocalAllocation:
+    """Per-stage LCMM sees only the stage's own live tensors."""
+
+    def test_stage_onchip_sets_are_stage_local(self):
+        from repro.perf.partition import stage_subgraph
+
+        graph = build_chain(num_convs=8, channels=128, hw=14)
+        accel = small_accel(ddr_efficiency=0.1)
+        result = design_pipeline(graph, accel, 3)
+        for idx, stage in enumerate(result.stages):
+            sub = stage_subgraph(graph, list(stage.nodes), idx)
+            allowed = {t.name for t in sub.feature_tensors()} | {
+                t.name for t in sub.weight_tensors()
+            }
+            assert set(stage.lcmm.onchip_tensors) <= allowed
